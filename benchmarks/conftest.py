@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures and prints the
+same rows/series the figure reports.  Runtime is controlled by two
+environment variables:
+
+* ``REPRO_BENCH_RUNS``  -- Monte-Carlo replications per point (default 5;
+  the paper uses 10 -- set it to 10 for publication-grade CIs).
+* ``REPRO_BENCH_GOPS``  -- simulated GOP windows per run (default 2).
+"""
+
+import os
+
+import pytest
+
+#: Replications per experiment point.
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "5"))
+#: GOP windows simulated per run.
+BENCH_GOPS = int(os.environ.get("REPRO_BENCH_GOPS", "2"))
+#: Root seed shared by every benchmark (paired comparisons).
+BENCH_SEED = 7
+
+
+def report(title: str, body: str) -> None:
+    """Print one figure's regenerated data block."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

@@ -1,0 +1,32 @@
+"""Fig. 3 -- per-user video quality, single FBS, three schemes.
+
+Paper claim: the proposed scheme beats both heuristics for every user
+(up to 4.3 dB) and balances quality across users.
+"""
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.experiments.fig3 import max_improvement_db, run_fig3
+from repro.experiments.report import format_fig3
+
+
+def regenerate_fig3():
+    return run_fig3(n_runs=BENCH_RUNS, n_gops=BENCH_GOPS, seed=BENCH_SEED)
+
+
+def test_bench_fig3(benchmark):
+    rows = benchmark.pedantic(regenerate_fig3, rounds=1, iterations=1)
+    report(
+        "Fig. 3: per-user Y-PSNR (dB), single FBS "
+        "(users 0/1/2 = Bus/Mobile/Harbor)",
+        format_fig3(rows)
+        + f"\n\nmax per-user gain of proposed over a heuristic: "
+          f"{max_improvement_db(rows):.2f} dB (paper: up to 4.3 dB)")
+
+    proposed, heuristic1, heuristic2 = rows
+    # Shape: proposed wins the mean and is at least as fair as the
+    # winner-take-all diversity scheme.
+    mean = lambda row: sum(ci.mean for ci in row.per_user_psnr.values()) / 3.0
+    assert mean(proposed) > mean(heuristic1)
+    assert mean(proposed) > mean(heuristic2)
+    assert proposed.fairness.mean >= heuristic2.fairness.mean
+    assert max_improvement_db(rows) > 2.0

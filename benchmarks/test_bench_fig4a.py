@@ -1,0 +1,27 @@
+"""Fig. 4(a) -- convergence of the dual variables (Table I).
+
+Paper claim: both multipliers converge to their optimal values within a
+few hundred iterations of the distributed subgradient iteration.
+"""
+
+from benchmarks.conftest import BENCH_SEED, report
+from repro.experiments.fig4 import run_fig4a
+from repro.experiments.report import format_convergence
+
+
+def test_bench_fig4a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4a(seed=BENCH_SEED), rounds=1, iterations=1)
+    report(
+        f"Fig. 4(a): dual-variable trace "
+        f"(converged={result.converged} after {result.iterations} iterations)",
+        format_convergence(result.trace, result.stations))
+
+    assert result.converged
+    assert 50 <= result.iterations <= 2000
+    # Multipliers settle: total movement over the last 10% of iterations
+    # is a tiny fraction of the total movement.
+    import numpy as np
+    moves = np.abs(np.diff(result.trace, axis=0)).sum(axis=1)
+    tail = max(1, len(moves) // 10)
+    assert moves[-tail:].sum() < 0.05 * moves.sum()

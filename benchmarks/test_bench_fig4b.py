@@ -1,0 +1,31 @@
+"""Fig. 4(b) -- video quality vs number of licensed channels (single FBS).
+
+Paper claims: more channels => more spectrum opportunities => higher
+PSNR; the proposed scheme has the steepest slope (it exploits extra
+spectrum best).
+"""
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.experiments.fig4 import FIG4B_CHANNELS, run_fig4b
+from repro.experiments.report import format_sweep
+
+
+def test_bench_fig4b(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4b(n_runs=BENCH_RUNS, n_gops=BENCH_GOPS, seed=BENCH_SEED),
+        rounds=1, iterations=1)
+    report("Fig. 4(b): Y-PSNR (dB) vs number of channels M, single FBS",
+           format_sweep(result, value_format="M={}"))
+
+    proposed = result.series("proposed-fast")
+    heuristic1 = result.series("heuristic1")
+    # Quality increases with M for the adaptive schemes.
+    assert proposed[-1] > proposed[0]
+    assert heuristic1[-1] > heuristic1[0]
+    # Proposed exploits the extra spectrum at least as well as the
+    # heuristics (steepest slope over the sweep).
+    slope = lambda series: series[-1] - series[0]
+    assert slope(proposed) >= slope(result.series("heuristic2")) - 0.3
+    # Proposed wins at the paper's default M = 8.
+    at_default = FIG4B_CHANNELS.index(8)
+    assert proposed[at_default] > heuristic1[at_default]

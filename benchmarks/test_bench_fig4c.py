@@ -1,0 +1,27 @@
+"""Fig. 4(c) -- video quality vs channel utilisation (single FBS).
+
+Paper claims: higher primary-user utilisation => fewer spectrum
+opportunities => all curves decrease; the proposed scheme stays on top
+with a ~3 dB margin over the heuristics in the mid-range.
+"""
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.experiments.fig4 import FIG4C_UTILIZATIONS, run_fig4c
+from repro.experiments.report import format_sweep
+
+
+def test_bench_fig4c(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig4c(n_runs=BENCH_RUNS, n_gops=BENCH_GOPS, seed=BENCH_SEED),
+        rounds=1, iterations=1)
+    report("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta, single FBS",
+           format_sweep(result, value_format="eta={}"))
+
+    proposed = result.series("proposed-fast")
+    heuristic1 = result.series("heuristic1")
+    # Decreasing in eta for the spectrum-adaptive schemes.
+    assert proposed[0] > proposed[-1]
+    assert heuristic1[0] > heuristic1[-1]
+    # Proposed on top at every sweep point.
+    for index in range(len(FIG4C_UTILIZATIONS)):
+        assert proposed[index] >= heuristic1[index] - 0.2

@@ -1,0 +1,28 @@
+"""Fig. 6(a) -- quality vs utilisation, three interfering FBSs.
+
+Paper claims: all curves decrease with eta; proposed best; heuristic 2
+(global decisions) above heuristic 1 (local decisions); the eq. (23)
+upper bound sits above the proposed curve.
+"""
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.experiments.fig6 import run_fig6a
+from repro.experiments.report import format_sweep
+
+
+def test_bench_fig6a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6a(n_runs=BENCH_RUNS, n_gops=BENCH_GOPS, seed=BENCH_SEED),
+        rounds=1, iterations=1)
+    report("Fig. 6(a): Y-PSNR (dB) vs utilisation eta, interfering FBSs",
+           format_sweep(result, upper_bound=True, value_format="eta={}"))
+
+    proposed = result.series("proposed-fast")
+    bound = result.upper_bound_series("proposed-fast")
+    # Decreasing in eta; proposed wins overall; bound dominates proposed.
+    assert proposed[0] > proposed[-1]
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(proposed) > mean(result.series("heuristic1"))
+    assert mean(proposed) > mean(result.series("heuristic2"))
+    for ub, value in zip(bound, proposed):
+        assert ub >= value - 1e-9

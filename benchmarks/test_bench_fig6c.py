@@ -1,0 +1,30 @@
+"""Fig. 6(c) -- quality vs common-channel bandwidth B0 (interfering).
+
+Paper claims: quality grows quickly as B0 rises from 0.1 to 0.3 Mbps,
+then the gain diminishes; proposed stays on top with the upper bound
+close above.
+"""
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.experiments.fig6 import run_fig6c
+from repro.experiments.report import format_sweep
+
+
+def test_bench_fig6c(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig6c(n_runs=BENCH_RUNS, n_gops=BENCH_GOPS, seed=BENCH_SEED),
+        rounds=1, iterations=1)
+    report("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0 (Mbps), "
+           "interfering FBSs (B1 = 0.3 fixed)",
+           format_sweep(result, upper_bound=True, value_format="B0={}"))
+
+    proposed = result.series("proposed-fast")
+    # Increasing in B0; proposed best on average.
+    assert proposed[-1] > proposed[0]
+    mean = lambda xs: sum(xs) / len(xs)
+    assert mean(proposed) > mean(result.series("heuristic1"))
+    # Diminishing returns: the first bandwidth step buys at least as much
+    # quality as the last one.
+    first_gain = proposed[1] - proposed[0]
+    last_gain = proposed[-1] - proposed[-2]
+    assert first_gain >= last_gain - 0.15

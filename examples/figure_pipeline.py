@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Full figure pipeline: run -> persist -> reload -> chart.
+
+Shows the workflow a downstream user follows when regenerating one of
+the paper's figures for their own write-up: run the sweep, save the
+result as JSON (so reruns can be diffed), reload it, and render both the
+numeric table and an ASCII chart.
+
+Run with:  python examples/figure_pipeline.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments.fig6 import run_fig6c
+from repro.experiments.plotting import chart_sweep
+from repro.experiments.report import format_sweep
+from repro.experiments.results_io import load_results, save_results
+
+
+def main() -> None:
+    print("Running Fig. 6(c) (PSNR vs common-channel bandwidth, "
+          "interfering FBSs)...\n")
+    result = run_fig6c(n_runs=3, n_gops=1, seed=7)
+
+    path = Path(tempfile.gettempdir()) / "repro_fig6c.json"
+    save_results(result, path)
+    print(f"Saved result data to {path} "
+          f"({path.stat().st_size} bytes of JSON)\n")
+
+    reloaded = load_results(path)
+    assert reloaded.series("proposed-fast") == result.series("proposed-fast")
+
+    print(format_sweep(reloaded, upper_bound=True, value_format="B0={}"))
+    print()
+    print(chart_sweep(reloaded, include_upper_bound=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Interfering femtocells: greedy channel allocation in action.
+
+Builds the paper's Section V-B scenario -- three FBSs whose coverage
+areas form the interference chain 1 - 2 - 3 of Fig. 5, three CR users
+each -- and walks through one slot of the greedy channel allocation
+(Table III): which FBS won which channel, the marginal objective gains
+``Delta_l``, and the eq. (23) upper bound certified by the run.
+
+Run with:  python examples/interfering_femtocells.py
+"""
+
+import networkx as nx
+
+from repro.core.bounds import theorem2_factor, tighter_upper_bound
+from repro.experiments import interfering_fbs_scenario
+from repro.sim import MonteCarloRunner, SimulationEngine
+
+
+def main() -> None:
+    config = interfering_fbs_scenario(n_gops=2, seed=11)
+    graph = config.topology.interference_graph
+    print("Interference graph (Fig. 5):",
+          sorted(graph.nodes), "edges", sorted(graph.edges))
+    print(f"D_max = {max(d for _n, d in graph.degree())} "
+          f"=> Theorem 2 guarantees >= {theorem2_factor(graph):.2f} of optimum\n")
+
+    engine = SimulationEngine(config, record_slots=True)
+    record = engine.step()
+    print(f"Slot 1: available channels A(t) = {record.access.available_channels.tolist()}")
+    print("Greedy allocation (Table III):")
+    for step_index, step in enumerate(record.greedy_trace.steps, start=1):
+        print(f"  step {step_index}: channel {step.channel} -> FBS {step.fbs_id} "
+              f"(Delta = {step.gain:.4f}, degree D(l) = {step.degree})")
+    for fbs_id, channels in sorted(record.channel_allocation.items()):
+        g_i = record.problem.expected_channels[fbs_id]
+        print(f"  FBS {fbs_id}: channels {sorted(channels)} (G_i = {g_i:.2f})")
+    print(f"  slot objective Q = {record.greedy_trace.q_final:.4f}, "
+          f"eq. (23) bound = {tighter_upper_bound(record.greedy_trace):.4f}")
+
+    # Sanity: adjacent FBSs never share a channel.
+    for i, j in graph.edges:
+        shared = record.channel_allocation[i] & record.channel_allocation[j]
+        assert not shared, f"interference violation on {shared}"
+
+    print("\nAverage quality over 5 runs (proposed vs heuristics):")
+    for scheme in ("proposed-fast", "heuristic1", "heuristic2"):
+        summary = MonteCarloRunner(config.with_scheme(scheme), n_runs=5).summary()
+        line = f"  {scheme:14s} mean PSNR {summary.mean_psnr}"
+        if scheme == "proposed-fast":
+            line += f"   upper bound {summary.upper_bound_psnr.mean:.2f} dB"
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

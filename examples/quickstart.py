@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: stream three MGS videos through one femtocell.
+
+Builds the paper's Section V-A scenario (one MBS, one FBS, three CR
+users streaming Bus / Mobile / Harbor over 8 licensed channels), runs the
+proposed resource-allocation scheme for a few GOPs, and prints what each
+user received.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.experiments import single_fbs_scenario
+from repro.sim import MonteCarloRunner, SimulationEngine
+
+
+def main() -> None:
+    config = single_fbs_scenario(n_gops=3, seed=7)
+    print(f"Scenario: M={config.n_channels} licensed channels, "
+          f"eta={config.utilization:.3f}, gamma={config.gamma}, "
+          f"T={config.deadline_slots} slots/GOP, "
+          f"B0={config.common_bandwidth_mbps} / B1={config.licensed_bandwidth_mbps} Mbps")
+    for user in config.topology.users:
+        print(f"  user {user.user_id}: streams {user.sequence_name!r}, "
+              f"MBS link success {config.topology.mbs_success[user.user_id]:.3f}, "
+              f"FBS link success {config.topology.fbs_success[user.user_id]:.3f}")
+
+    # Single run, slot by slot, to show what the engine produces.
+    engine = SimulationEngine(config, record_slots=True)
+    record = engine.step()
+    print(f"\nSlot 1: A(t) = {record.access.available_channels.tolist()} "
+          f"(G_t = {record.access.expected_available:.2f} expected channels)")
+    for user in record.problem.users:
+        station = "MBS" if record.allocation.uses_mbs(user.user_id) else "FBS"
+        share = record.allocation.time_share(user)
+        print(f"  user {user.user_id}: {station}, time share {share:.3f}, "
+              f"delivered {record.increments[user.user_id]:.3f} dB")
+
+    # The paper's methodology: 10 independent runs, 95% CIs.
+    print("\nAverage GOP quality over 10 runs:")
+    summary = MonteCarloRunner(config, n_runs=10).summary()
+    for user_id, ci in sorted(summary.per_user_psnr.items()):
+        print(f"  user {user_id}: {ci}")
+    print(f"  mean over users: {summary.mean_psnr}")
+    print(f"  Jain fairness:   {summary.fairness}")
+    print(f"  collision rate:  {summary.mean_collision_rate} "
+          f"(cap gamma = {config.gamma})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Compare the proposed scheme against the paper's two heuristics.
+
+Reproduces the qualitative content of Fig. 3: in the single-FBS scenario
+the proposed cross-layer scheme delivers more quality to *every* user
+than either heuristic, and balances quality across users much better
+(higher Jain fairness index).
+
+Run with:  python examples/scheme_comparison.py
+"""
+
+from repro.experiments.fig3 import max_improvement_db, run_fig3
+from repro.experiments.report import format_fig3
+
+
+def main() -> None:
+    rows = run_fig3(n_runs=10, n_gops=3, seed=7)
+    print("Fig. 3 -- per-user Y-PSNR (dB), single FBS, three CR users")
+    print("(users 0/1/2 stream Bus/Mobile/Harbor CIF @ GOP 16, T = 10 slots)\n")
+    print(format_fig3(rows))
+    print(f"\nLargest per-user gain of the proposed scheme over a heuristic: "
+          f"{max_improvement_db(rows):.2f} dB (the paper reports up to 4.3 dB)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro fig3 --runs 10
+    python -m repro fig4a
+    python -m repro fig6a --runs 5 --gops 2
+    python -m repro simulate --scenario interfering --scheme heuristic2
+    python -m repro all --runs 5
+
+Each figure command prints the same rows/series the paper's figure
+reports (see EXPERIMENTS.md for the committed reference output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.fig3 import max_improvement_db, run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+from repro.experiments.report import format_convergence, format_fig3, format_sweep
+from repro.experiments.scenarios import interfering_fbs_scenario, single_fbs_scenario
+from repro.sim.runner import MonteCarloRunner
+
+#: Figure commands in run order for ``python -m repro all``.
+FIGURES = ("fig3", "fig4a", "fig4b", "fig4c", "fig6a", "fig6b", "fig6c")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Hu & Mao (ICDCS 2011): MGS video over "
+                    "femtocell CR networks.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--runs", type=int, default=10,
+                       help="Monte-Carlo replications per point (default 10)")
+        p.add_argument("--gops", type=int, default=3,
+                       help="GOP windows per run (default 3)")
+        p.add_argument("--seed", type=int, default=7,
+                       help="root RNG seed (default 7)")
+        p.add_argument("--chart", action="store_true",
+                       help="also render sweep results as an ASCII chart")
+        p.add_argument("--output", metavar="FILE", default=None,
+                       help="save the result data as JSON (see "
+                            "repro.experiments.results_io)")
+
+    for name, title in (
+        ("fig3", "Fig. 3: per-user PSNR, single FBS"),
+        ("fig4b", "Fig. 4(b): PSNR vs number of channels"),
+        ("fig4c", "Fig. 4(c): PSNR vs channel utilisation"),
+        ("fig6a", "Fig. 6(a): PSNR vs utilisation, interfering FBSs"),
+        ("fig6b", "Fig. 6(b): PSNR vs sensing errors"),
+        ("fig6c", "Fig. 6(c): PSNR vs common-channel bandwidth"),
+        ("all", "run every figure in sequence"),
+    ):
+        sub_parser = sub.add_parser(name, help=title)
+        add_common(sub_parser)
+
+    fig4a = sub.add_parser("fig4a", help="Fig. 4(a): dual-variable convergence")
+    fig4a.add_argument("--seed", type=int, default=7)
+    fig4a.add_argument("--step-size", type=float, default=0.004)
+    fig4a.add_argument("--output", metavar="FILE", default=None)
+
+    simulate = sub.add_parser("simulate", help="run one scenario and print metrics")
+    add_common(simulate)
+    simulate.add_argument("--scenario", choices=("single", "interfering"),
+                          default="single")
+    simulate.add_argument("--scheme", default="proposed-fast",
+                          choices=("proposed", "proposed-fast",
+                                   "heuristic1", "heuristic2"))
+    return parser
+
+
+def _heading(text: str) -> str:
+    line = "=" * 72
+    return f"{line}\n{text}\n{line}"
+
+
+def _maybe_chart(result, args, *, upper_bound: bool = False) -> List[str]:
+    if not getattr(args, "chart", False):
+        return []
+    from repro.experiments.plotting import chart_sweep
+    return ["", chart_sweep(result, include_upper_bound=upper_bound)]
+
+
+def _maybe_save(result, args) -> List[str]:
+    output = getattr(args, "output", None)
+    if not output:
+        return []
+    from repro.experiments.results_io import save_results
+    path = save_results(result, output)
+    return [f"[saved to {path}]"]
+
+
+def _run_figure(name: str, args) -> str:
+    if name == "fig3":
+        rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(rows, args) + [
+            _heading("Fig. 3: per-user Y-PSNR (dB), single FBS"),
+            format_fig3(rows),
+            f"max per-user gain of proposed over a heuristic: "
+            f"{max_improvement_db(rows):.2f} dB",
+        ])
+    if name == "fig4b":
+        result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(result, args) + [
+            _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
+            format_sweep(result, value_format="M={}"),
+        ] + _maybe_chart(result, args))
+    if name == "fig4c":
+        result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(result, args) + [
+            _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
+            format_sweep(result, value_format="eta={}"),
+        ] + _maybe_chart(result, args))
+    if name == "fig6a":
+        result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(result, args) + [
+            _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
+            format_sweep(result, upper_bound=True, value_format="eta={}"),
+        ] + _maybe_chart(result, args, upper_bound=True))
+    if name == "fig6b":
+        result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(result, args) + [
+            _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
+            format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
+        ] + _maybe_chart(result, args, upper_bound=True))
+    if name == "fig6c":
+        result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        return "\n".join(_maybe_save(result, args) + [
+            _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
+            format_sweep(result, upper_bound=True, value_format="B0={}"),
+        ] + _maybe_chart(result, args, upper_bound=True))
+    raise ValueError(f"unknown figure {name!r}")
+
+
+def _run_simulate(args) -> str:
+    builder = (single_fbs_scenario if args.scenario == "single"
+               else interfering_fbs_scenario)
+    config = builder(n_gops=args.gops, seed=args.seed, scheme=args.scheme)
+    summary = MonteCarloRunner(config, n_runs=args.runs).summary()
+    lines = [_heading(f"{args.scenario} scenario, scheme={args.scheme}")]
+    for user_id, ci in sorted(summary.per_user_psnr.items()):
+        lines.append(f"user {user_id}: {ci}")
+    lines.append(f"mean PSNR      : {summary.mean_psnr}")
+    lines.append(f"Jain fairness  : {summary.fairness}")
+    lines.append(f"collision rate : {summary.mean_collision_rate} "
+                 f"(cap gamma = {config.gamma})")
+    if args.scheme.startswith("proposed") and args.scenario == "interfering":
+        lines.append(f"eq. (23) bound : {summary.upper_bound_psnr}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig4a":
+        result = run_fig4a(seed=args.seed, step_size=args.step_size)
+        for line in _maybe_save(result, args):
+            print(line)
+        print(_heading(
+            f"Fig. 4(a): dual-variable convergence "
+            f"(converged={result.converged} after {result.iterations} iters)"))
+        print(format_convergence(result.trace, result.stations))
+        return 0
+    if args.command == "simulate":
+        print(_run_simulate(args))
+        return 0
+    names = FIGURES if args.command == "all" else (args.command,)
+    for name in names:
+        if name == "fig4a":
+            result = run_fig4a(seed=args.seed)
+            print(_heading("Fig. 4(a): dual-variable convergence"))
+            print(format_convergence(result.trace, result.stations))
+        else:
+            print(_run_figure(name, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

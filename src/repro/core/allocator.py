@@ -1,0 +1,81 @@
+"""Scheme registry: a uniform facade over all allocation algorithms.
+
+The simulation engine is scheme-agnostic -- it hands each slot's
+:class:`~repro.core.problem.SlotProblem` to an *allocator* and applies the
+returned :class:`~repro.core.problem.Allocation`.  This module maps scheme
+names to allocator objects:
+
+* ``"proposed"`` -- the paper's algorithm (dual decomposition; combined
+  with greedy channel allocation by the engine when FBSs interfere).
+* ``"proposed-fast"`` -- same optimisation problem solved by the fast
+  exact-inner-solve variant (identical results, used for large sweeps).
+* ``"heuristic1"`` / ``"heuristic2"`` -- the comparison schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.dual import DualDecompositionSolver, fast_solve
+from repro.core.heuristics import EqualAllocationHeuristic, MultiuserDiversityHeuristic
+from repro.core.problem import Allocation, SlotProblem
+from repro.utils.errors import ConfigurationError
+
+
+class ProposedAllocator:
+    """The paper's optimum-achieving allocator (Tables I/II).
+
+    Parameters
+    ----------
+    fast:
+        Use the fast exact-inner solver instead of the literal subgradient
+        iteration.  Both solve the same convex program; the subgradient
+        version is the faithful distributed protocol, the fast version is
+        preferable inside parameter sweeps.
+    solver_kwargs:
+        Forwarded to :class:`DualDecompositionSolver` when ``fast=False``.
+    """
+
+    def __init__(self, *, fast: bool = False, **solver_kwargs) -> None:
+        self.fast = bool(fast)
+        self._solver = None if self.fast else DualDecompositionSolver(**solver_kwargs)
+
+    @property
+    def name(self) -> str:
+        """Registry name of this allocator."""
+        return "proposed-fast" if self.fast else "proposed"
+
+    def allocate(self, problem: SlotProblem) -> Allocation:
+        """Solve one slot problem to (near-)optimality."""
+        if self.fast:
+            return fast_solve(problem)
+        return self._solver.solve(problem).allocation
+
+
+SCHEMES = ("proposed", "proposed-fast", "heuristic1", "heuristic2")
+
+
+def get_allocator(scheme: str, **kwargs):
+    """Instantiate an allocator by scheme name.
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`SCHEMES`.
+    kwargs:
+        Forwarded to the allocator constructor (only meaningful for the
+        proposed schemes).
+    """
+    if scheme == "proposed":
+        return ProposedAllocator(fast=False, **kwargs)
+    if scheme == "proposed-fast":
+        return ProposedAllocator(fast=True, **kwargs)
+    if scheme == "heuristic1":
+        if kwargs:
+            raise ConfigurationError(f"heuristic1 accepts no options, got {kwargs}")
+        return EqualAllocationHeuristic()
+    if scheme == "heuristic2":
+        if kwargs:
+            raise ConfigurationError(f"heuristic2 accepts no options, got {kwargs}")
+        return MultiuserDiversityHeuristic()
+    raise ConfigurationError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")

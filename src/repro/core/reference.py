@@ -1,0 +1,176 @@
+"""Exact reference solvers ("oracles") for the per-slot problem.
+
+Two building blocks:
+
+* :func:`water_filling` -- given the binary base-station assignment, each
+  base station's subproblem is a weighted log-utility water-filling over
+  the slot simplex, solved exactly in closed form by a breakpoint scan on
+  the KKT multiplier.
+* :func:`exhaustive_reference_solution` -- enumerate all ``2^K`` binary
+  assignments (Theorem 1: the optimal ``p`` is binary, so this search is
+  exact for problem (12)/(17)) and water-fill each.  Exponential in ``K``,
+  intended for tests and small instances only.
+
+The distributed dual algorithm (Tables I/II) is validated against these in
+the test suite; the greedy bound checks of Theorem 2 use them to compute
+true optima on small interfering instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.problem import Allocation, SlotProblem, UserDemand
+from repro.utils.errors import ConfigurationError
+
+
+
+def water_filling(weights: Sequence[float], bases: Sequence[float],
+                  slopes: Sequence[float]) -> Tuple[List[float], float]:
+    """Maximise ``sum_j weights_j * [log(bases_j + rho_j slopes_j) - log(bases_j)]``.
+
+    Subject to ``sum_j rho_j <= 1`` and ``rho >= 0``.  This is the
+    per-base-station subproblem of (12)/(17) once the assignment is fixed:
+    ``weights`` are link success probabilities ``bar P^F``, ``bases`` the
+    PSNR states ``W_j``, ``slopes`` the effective per-slot increments
+    (``R_{0,j}`` on the MBS, ``G_i * R_{i,j}`` on an FBS).  The
+    ``- log(bases_j)`` normalisation makes the value the expected
+    log-PSNR *gain* (see :mod:`repro.core.problem`); it is constant in
+    ``rho`` and does not affect the optimiser.
+
+    Returns
+    -------
+    (rho, value):
+        The optimal shares and the attained objective value.  Users with
+        zero weight or zero slope receive zero share and contribute zero
+        value.
+    """
+    n = len(weights)
+    if not (len(bases) == len(slopes) == n):
+        raise ConfigurationError(
+            f"weights/bases/slopes must have equal length, got "
+            f"{n}/{len(bases)}/{len(slopes)}")
+    for j in range(n):
+        if bases[j] <= 0:
+            raise ConfigurationError(f"bases[{j}] must be positive, got {bases[j]}")
+        if weights[j] < 0 or slopes[j] < 0:
+            raise ConfigurationError("weights and slopes must be non-negative")
+    active = [j for j in range(n) if weights[j] > 0 and slopes[j] > 0]
+    rho = [0.0] * n
+    if active:
+        # KKT: rho_j(lam) = (w_j / lam - c_j)^+ with c_j = W_j / s_j; the
+        # budget always binds under log utility, so lam solves
+        # sum_{j in S} (w_j / lam - c_j) = 1 over the active set
+        # S = {j : w_j / c_j > lam}.  Scanning users in decreasing order
+        # of their activation breakpoint w_j / c_j, exactly one prefix
+        # yields lam = sum(w) / (1 + sum(c)) consistent with its own
+        # membership -- an exact O(K log K) water-filling.
+        costs = {j: bases[j] / slopes[j] for j in active}
+        order = sorted(active, key=lambda j: weights[j] / costs[j], reverse=True)
+        weight_sum = 0.0
+        cost_sum = 0.0
+        lam = None
+        members = 0
+        for position, j in enumerate(order):
+            weight_sum += weights[j]
+            cost_sum += costs[j]
+            candidate = weight_sum / (1.0 + cost_sum)
+            next_breakpoint = (weights[order[position + 1]] / costs[order[position + 1]]
+                               if position + 1 < len(order) else 0.0)
+            if candidate >= next_breakpoint:
+                lam = candidate
+                members = position + 1
+                break
+        if lam is None or lam <= 0.0:
+            # Subnormal weights/slopes underflowed the water level; the
+            # utilities involved are ~0, so any feasible choice is optimal
+            # to machine precision -- serve the best-breakpoint user.
+            rho[order[0]] = 1.0
+        else:
+            raw = [max(0.0, weights[j] / lam - costs[j]) for j in order[:members]]
+            raw_total = sum(raw)
+            if raw_total > 0.0:
+                # Snap the rounding residual onto the simplex boundary.
+                raw = [r / raw_total for r in raw]
+            for j, share in zip(order[:members], raw):
+                rho[j] = share
+    value = sum(weights[j] * math.log1p(rho[j] * slopes[j] / bases[j]) for j in range(n))
+    return rho, value
+
+
+def solve_given_assignment(problem: SlotProblem, mbs_user_ids) -> Allocation:
+    """Exact solution of (17) for a fixed binary base-station assignment.
+
+    Parameters
+    ----------
+    problem:
+        The slot problem.
+    mbs_user_ids:
+        Users with ``p_j = 1`` (scheduled on the MBS); everyone else is on
+        their associated FBS.
+    """
+    mbs_user_ids = set(mbs_user_ids)
+    known = {user.user_id for user in problem.users}
+    unknown = mbs_user_ids - known
+    if unknown:
+        raise ConfigurationError(f"assignment references unknown users {sorted(unknown)}")
+    rho_mbs: Dict[int, float] = {}
+    rho_fbs: Dict[int, float] = {}
+    objective = 0.0
+
+    mbs_users = [user for user in problem.users if user.user_id in mbs_user_ids]
+    shares, value = water_filling(
+        [user.success_mbs for user in mbs_users],
+        [user.w_prev for user in mbs_users],
+        [user.r_mbs for user in mbs_users],
+    ) if mbs_users else ([], 0.0)
+    for user, share in zip(mbs_users, shares):
+        rho_mbs[user.user_id] = share
+    objective += value
+
+    for fbs_id in problem.fbs_ids:
+        cell_users = [user for user in problem.users_of_fbs(fbs_id)
+                      if user.user_id not in mbs_user_ids]
+        if not cell_users:
+            continue
+        g_i = problem.expected_channels[fbs_id]
+        shares, value = water_filling(
+            [user.success_fbs for user in cell_users],
+            [user.w_prev for user in cell_users],
+            [g_i * user.r_fbs for user in cell_users],
+        )
+        for user, share in zip(cell_users, shares):
+            rho_fbs[user.user_id] = share
+        objective += value
+
+    return Allocation(mbs_user_ids=mbs_user_ids, rho_mbs=rho_mbs,
+                      rho_fbs=rho_fbs, objective=objective)
+
+
+def exhaustive_reference_solution(problem: SlotProblem, *,
+                                  max_users: int = 16) -> Allocation:
+    """Globally optimal solution by enumerating all binary assignments.
+
+    By Theorem 1 the optimum of (12)/(17) has every ``p_j`` in ``{0, 1}``,
+    so enumerating the ``2^K`` assignments and exactly water-filling each
+    is an exact (if exponential) algorithm.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``K > max_users`` -- the guard against accidentally launching an
+        exponential search on a large instance.
+    """
+    if problem.n_users > max_users:
+        raise ConfigurationError(
+            f"exhaustive search limited to {max_users} users, got {problem.n_users}")
+    user_ids = [user.user_id for user in problem.users]
+    best: Allocation = None
+    for pattern in itertools.product((False, True), repeat=len(user_ids)):
+        assignment = {uid for uid, on_mbs in zip(user_ids, pattern) if on_mbs}
+        candidate = solve_given_assignment(problem, assignment)
+        if best is None or candidate.objective > best.objective:
+            best = candidate
+    return best

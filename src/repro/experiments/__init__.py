@@ -1,0 +1,36 @@
+"""Reproduction of every figure in the paper's evaluation (Section V).
+
+One module per figure family:
+
+* :mod:`repro.experiments.scenarios` -- the two evaluation scenarios
+  (single FBS; three interfering FBSs in the Fig. 5 chain).
+* :mod:`repro.experiments.fig3` -- per-user PSNR bars (Fig. 3).
+* :mod:`repro.experiments.fig4` -- dual-variable convergence (Fig. 4a),
+  PSNR vs number of channels (Fig. 4b), PSNR vs utilisation (Fig. 4c).
+* :mod:`repro.experiments.fig6` -- interfering FBSs: PSNR vs utilisation
+  (Fig. 6a), vs sensing errors (Fig. 6b), vs common-channel bandwidth
+  (Fig. 6c), all with the eq. (23) upper bound.
+* :mod:`repro.experiments.report` -- text rendering of experiment rows.
+"""
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
+from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
+from repro.experiments.scenarios import (
+    interfering_fbs_scenario,
+    single_fbs_scenario,
+    utilization_to_p01,
+)
+
+__all__ = [
+    "interfering_fbs_scenario",
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig4c",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "single_fbs_scenario",
+    "utilization_to_p01",
+]

@@ -1,0 +1,73 @@
+"""Fig. 3 -- per-user received video quality, single FBS.
+
+The paper's first result: with one FBS and three CR users (Bus, Mobile,
+Harbor), the proposed scheme beats both heuristics for every user -- by
+up to 4.3 dB -- and balances quality across users far better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.sim.runner import MonteCarloRunner
+from repro.utils.stats import ConfidenceInterval
+
+#: Schemes compared in the figure, in plot order.
+FIG3_SCHEMES = ("proposed-fast", "heuristic1", "heuristic2")
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """One bar group of Fig. 3: one scheme's per-user PSNRs.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme name.
+    per_user_psnr:
+        ``{user_id: ConfidenceInterval}`` of mean GOP PSNR (dB).
+    fairness:
+        Jain index CI across users (the paper's "well balanced" claim).
+    """
+
+    scheme: str
+    per_user_psnr: Dict[int, ConfidenceInterval]
+    fairness: ConfidenceInterval
+
+
+def run_fig3(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
+             schemes: Sequence[str] = FIG3_SCHEMES) -> List[Fig3Row]:
+    """Regenerate Fig. 3's data.
+
+    Returns one row per scheme with per-user confidence intervals; all
+    schemes share root seeds (paired comparison).
+    """
+    rows = []
+    for scheme in schemes:
+        config = single_fbs_scenario(n_gops=n_gops, seed=seed, scheme=scheme)
+        summary = MonteCarloRunner(config, n_runs=n_runs).summary()
+        rows.append(Fig3Row(
+            scheme=scheme,
+            per_user_psnr=summary.per_user_psnr,
+            fairness=summary.fairness,
+        ))
+    return rows
+
+
+def max_improvement_db(rows: Sequence[Fig3Row]) -> float:
+    """Largest per-user gain of the proposed scheme over any heuristic.
+
+    The paper reports up to 4.3 dB; the reproduction's value is recorded
+    in EXPERIMENTS.md.
+    """
+    proposed = next(r for r in rows if r.scheme.startswith("proposed"))
+    heuristics = [r for r in rows if not r.scheme.startswith("proposed")]
+    if not heuristics:
+        raise ValueError("need at least one heuristic row")
+    return max(
+        proposed.per_user_psnr[user].mean - row.per_user_psnr[user].mean
+        for row in heuristics
+        for user in proposed.per_user_psnr
+    )

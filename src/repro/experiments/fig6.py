@@ -1,0 +1,56 @@
+"""Fig. 6 -- interfering-FBS experiments (three FBSs, Fig. 5 chain).
+
+* **Fig. 6(a)**: quality vs channel utilisation ``eta in {0.3 .. 0.7}``.
+* **Fig. 6(b)**: quality vs sensing-error operating points
+  ``(epsilon, delta) in {(0.2, 0.48), (0.24, 0.38), (0.3, 0.3),
+  (0.38, 0.24), (0.48, 0.2)}``.
+* **Fig. 6(c)**: quality vs common-channel bandwidth
+  ``B0 in {0.1 .. 0.5}`` Mbps with ``B1 = 0.3`` fixed.
+
+Each figure also carries the upper bound derived from eq. (23) (see
+:mod:`repro.core.bounds` and the conversion notes in
+:mod:`repro.sim.metrics`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.experiments.scenarios import interfering_fbs_scenario, utilization_to_p01
+from repro.sim.runner import SweepResult, sweep
+
+#: Sweep points exactly as in the paper.
+FIG6A_UTILIZATIONS = (0.3, 0.4, 0.5, 0.6, 0.7)
+FIG6B_ERROR_PAIRS = ((0.2, 0.48), (0.24, 0.38), (0.3, 0.3), (0.38, 0.24), (0.48, 0.2))
+FIG6C_BANDWIDTHS = (0.1, 0.2, 0.3, 0.4, 0.5)
+FIG6_SCHEMES = ("proposed-fast", "heuristic1", "heuristic2")
+
+
+def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
+              utilizations: Sequence[float] = FIG6A_UTILIZATIONS,
+              schemes: Sequence[str] = FIG6_SCHEMES) -> SweepResult:
+    """Regenerate Fig. 6(a): PSNR vs utilisation under interference."""
+    base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
+    return sweep(
+        base, "utilization", list(utilizations), schemes, n_runs=n_runs,
+        configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)))
+
+
+def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
+              error_pairs: Sequence[Tuple[float, float]] = FIG6B_ERROR_PAIRS,
+              schemes: Sequence[str] = FIG6_SCHEMES) -> SweepResult:
+    """Regenerate Fig. 6(b): PSNR vs sensing-error operating point."""
+    base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
+    return sweep(
+        base, "sensing_errors", list(error_pairs), schemes, n_runs=n_runs,
+        configure=lambda cfg, pair: cfg.replace(
+            false_alarm=pair[0], miss_detection=pair[1]))
+
+
+def run_fig6c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
+              bandwidths: Sequence[float] = FIG6C_BANDWIDTHS,
+              schemes: Sequence[str] = FIG6_SCHEMES) -> SweepResult:
+    """Regenerate Fig. 6(c): PSNR vs common-channel bandwidth ``B0``."""
+    base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
+    return sweep(base, "common_bandwidth_mbps", list(bandwidths), schemes,
+                 n_runs=n_runs)

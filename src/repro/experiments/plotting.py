@@ -1,0 +1,111 @@
+"""Terminal (ASCII) charts for experiment sweeps.
+
+The benchmark harness and CLI print numeric tables; this module adds a
+dependency-free visual rendering so the figure *shapes* -- who is on
+top, where curves cross, how fast they fall -- can be eyeballed straight
+from a terminal, mirroring the paper's line plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.sim.runner import SweepResult
+from repro.utils.errors import ConfigurationError
+
+#: Glyphs assigned to series, in order.
+_MARKERS = "oxv*#@+%"
+
+
+def ascii_chart(series: Dict[str, Sequence[float]], *, height: int = 12,
+                width: int = 60, y_label: str = "") -> str:
+    """Render named series as an ASCII line chart.
+
+    Parameters
+    ----------
+    series:
+        ``{name: values}``; all series must have equal length >= 2.
+    height, width:
+        Canvas size in characters (plot area, excluding axes).
+    y_label:
+        Label printed above the y-axis.
+
+    Returns
+    -------
+    str
+        A multi-line chart with a legend; series are drawn as marker
+        glyphs, later series over earlier ones on collisions.
+    """
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError(
+            f"all series must have equal length, got {sorted(lengths)}")
+    n_points = lengths.pop()
+    if n_points < 2:
+        raise ConfigurationError("series need at least two points")
+    if height < 2 or width < n_points:
+        raise ConfigurationError(
+            f"canvas {width}x{height} too small for {n_points} points")
+    if len(series) > len(_MARKERS):
+        raise ConfigurationError(
+            f"at most {len(_MARKERS)} series supported, got {len(series)}")
+
+    all_values = [v for values in series.values() for v in values]
+    low, high = min(all_values), max(all_values)
+    if high == low:
+        high = low + 1.0  # flat chart: centre it
+
+    canvas = [[" "] * width for _ in range(height)]
+    columns = [round(i * (width - 1) / (n_points - 1)) for i in range(n_points)]
+
+    def row_of(value: float) -> int:
+        fraction = (value - low) / (high - low)
+        return (height - 1) - round(fraction * (height - 1))
+
+    legend = []
+    for marker, (name, values) in zip(_MARKERS, series.items()):
+        legend.append(f"{marker} = {name}")
+        for index, value in enumerate(values):
+            canvas[row_of(value)][columns[index]] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            axis_value = f"{high:7.2f} |"
+        elif row_index == height - 1:
+            axis_value = f"{low:7.2f} |"
+        else:
+            axis_value = "        |"
+        lines.append(axis_value + "".join(row))
+    lines.append("        +" + "-" * width)
+    lines.append("          " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def chart_sweep(result: SweepResult, *, include_upper_bound: bool = False,
+                height: int = 12, width: int = 60) -> str:
+    """Chart a :class:`SweepResult`'s mean-PSNR series.
+
+    Parameters
+    ----------
+    result:
+        The sweep to chart.
+    include_upper_bound:
+        Add the eq. (23) bound series of the first scheme.
+    """
+    from repro.experiments.report import bound_reference_scheme
+
+    series: Dict[str, List[float]] = {}
+    if include_upper_bound:
+        reference = bound_reference_scheme(list(result.summaries))
+        series["upper bound"] = result.upper_bound_series(reference)
+    for scheme in result.summaries:
+        series[scheme] = result.series(scheme)
+    x_values = ", ".join(str(v) for v in result.values)
+    chart = ascii_chart(series, height=height, width=width,
+                        y_label="Y-PSNR (dB)")
+    return f"{chart}\n          x: {result.parameter} = {x_values}"

@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints these tables so each run of
+``pytest benchmarks/`` regenerates the same rows/series the paper's
+figures report, without needing a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.experiments.fig3 import Fig3Row
+from repro.sim.runner import SweepResult
+
+
+def bound_reference_scheme(schemes: Sequence[str]) -> str:
+    """The scheme whose eq. (23) bound should be reported.
+
+    Only the proposed scheme runs the greedy allocation that produces a
+    bound, so prefer it regardless of the (possibly alphabetised) order
+    the schemes are stored in.
+    """
+    if not schemes:
+        raise ValueError("schemes must be non-empty")
+    for scheme in schemes:
+        if scheme.startswith("proposed"):
+            return scheme
+    return schemes[0]
+
+
+def format_fig3(rows: Sequence[Fig3Row]) -> str:
+    """Render Fig. 3 as a per-user table."""
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    user_ids = sorted(rows[0].per_user_psnr)
+    header = ["scheme".ljust(16)] + [f"user {u}".rjust(14) for u in user_ids]
+    header.append("fairness".rjust(10))
+    lines = ["  ".join(header)]
+    for row in rows:
+        cells = [row.scheme.ljust(16)]
+        for user_id in user_ids:
+            ci = row.per_user_psnr[user_id]
+            cells.append(f"{ci.mean:6.2f} +/-{ci.half_width:4.2f}".rjust(14))
+        cells.append(f"{row.fairness.mean:10.3f}")
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_sweep(result: SweepResult, *, upper_bound: bool = False,
+                 value_format: str = "{}") -> str:
+    """Render a parameter sweep as one row per sweep point.
+
+    Parameters
+    ----------
+    result:
+        The sweep to render.
+    upper_bound:
+        Include the eq. (23) upper-bound column (interfering scenarios).
+    value_format:
+        ``str.format`` pattern for the swept values.
+    """
+    schemes = list(result.summaries)
+    header = [result.parameter.ljust(14)]
+    if upper_bound:
+        header.append("upper bound".rjust(14))
+    header += [scheme.rjust(16) for scheme in schemes]
+    lines = ["  ".join(header)]
+    reference = bound_reference_scheme(schemes)
+    for index, value in enumerate(result.values):
+        cells = [value_format.format(value).ljust(14)]
+        if upper_bound:
+            ub = result.summaries[reference][index].upper_bound_psnr
+            cells.append(f"{ub.mean:6.2f} +/-{ub.half_width:4.2f}".rjust(14))
+        for scheme in schemes:
+            ci = result.summaries[scheme][index].mean_psnr
+            cells.append(f"{ci.mean:6.2f} +/-{ci.half_width:4.2f}".rjust(16))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def format_convergence(trace, stations: List[int], *, samples: int = 12) -> str:
+    """Render a dual-variable trace (Fig. 4a) as sampled rows."""
+    n_rows = trace.shape[0]
+    if n_rows == 0:
+        raise ValueError("trace must be non-empty")
+    step = max(1, n_rows // samples)
+    header = ["iter".rjust(6)] + [
+        ("lambda_0" if s == 0 else f"lambda_{s}").rjust(12) for s in stations]
+    lines = ["  ".join(header)]
+    for index in list(range(0, n_rows, step)) + [n_rows - 1]:
+        cells = [f"{index:6d}"] + [f"{value:12.6f}" for value in trace[index]]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Interference-graph construction (Definition 1, Figs. 2 and 5).
+
+Vertices are FBSs; an edge joins two FBSs whose coverage areas overlap,
+meaning they may not use the same licensed channel simultaneously
+(Lemma 4).  The graph drives both the greedy channel allocation
+(Table III) and the performance bounds (Theorem 2 uses its maximum
+degree).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.net.nodes import FemtoBaseStation
+from repro.utils.errors import ConfigurationError
+
+
+def build_interference_graph(fbss: Sequence[FemtoBaseStation]) -> nx.Graph:
+    """Build the interference graph from FBS coverage geometry.
+
+    Nodes are ``fbs_id`` values; an edge ``(i, j)`` exists iff the coverage
+    disks of FBS ``i`` and FBS ``j`` overlap.
+    """
+    ids = [fbs.fbs_id for fbs in fbss]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError(f"duplicate fbs_id values in {ids}")
+    graph = nx.Graph()
+    graph.add_nodes_from(ids)
+    for a_index, fbs_a in enumerate(fbss):
+        for fbs_b in fbss[a_index + 1:]:
+            if fbs_a.overlaps(fbs_b):
+                graph.add_edge(fbs_a.fbs_id, fbs_b.fbs_id)
+    return graph
+
+
+def interference_graph_from_edges(fbs_ids: Iterable[int],
+                                  edges: Iterable[Tuple[int, int]]) -> nx.Graph:
+    """Build an interference graph directly from an edge list.
+
+    Used to reproduce the paper's stated topologies exactly: Fig. 2 (four
+    FBSs, single edge 3-4) and Fig. 5 (chain 1-2-3).
+    """
+    graph = nx.Graph()
+    graph.add_nodes_from(fbs_ids)
+    for i, j in edges:
+        if i == j:
+            raise ConfigurationError(f"self-interference edge ({i}, {j}) is invalid")
+        if i not in graph or j not in graph:
+            raise ConfigurationError(
+                f"edge ({i}, {j}) references an FBS not in {sorted(graph.nodes)}")
+        graph.add_edge(i, j)
+    return graph
+
+
+def neighbors(graph: nx.Graph, fbs_id: int) -> Set[int]:
+    """The neighbour set ``R(i)`` of Lemma 4."""
+    if fbs_id not in graph:
+        raise ConfigurationError(f"FBS {fbs_id} is not a vertex of the graph")
+    return set(graph.neighbors(fbs_id))
+
+
+def max_degree(graph: nx.Graph) -> int:
+    """``D_max`` -- the maximum node degree, used by Theorem 2.
+
+    Zero for an empty or edgeless graph (the non-interfering case, where
+    the greedy algorithm is optimal).
+    """
+    if graph.number_of_nodes() == 0:
+        return 0
+    return max(degree for _node, degree in graph.degree())
+
+
+def is_valid_allocation(graph: nx.Graph, allocation) -> bool:
+    """Check the interference constraint of problem (21).
+
+    ``allocation`` maps ``fbs_id -> set of channel indices``.  Valid iff no
+    two adjacent FBSs share a channel.
+    """
+    for i, j in graph.edges:
+        shared = set(allocation.get(i, ())) & set(allocation.get(j, ()))
+        if shared:
+            return False
+    return True

@@ -1,0 +1,121 @@
+"""Node types of the femtocell CR network."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+Point = Tuple[float, float]
+
+
+def _check_point(value, name: str) -> Point:
+    try:
+        x, y = value
+        x, y = float(x), float(y)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(f"{name} must be an (x, y) pair, got {value!r}") from exc
+    if not (math.isfinite(x) and math.isfinite(y)):
+        raise ConfigurationError(f"{name} must be finite, got {value!r}")
+    return (x, y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points in metres."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class MacroBaseStation:
+    """The macro base station.
+
+    Its single antenna is always tuned to the common channel (Section
+    III-A); it also runs the master dual-variable updates of the
+    distributed algorithm (Section IV-A3).
+
+    Attributes
+    ----------
+    position:
+        ``(x, y)`` location in metres.
+    tx_power_dbm:
+        Downlink transmit power on the common channel.
+    """
+
+    position: Point = (0.0, 0.0)
+    tx_power_dbm: float = 43.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", _check_point(self.position, "position"))
+
+
+@dataclass(frozen=True)
+class FemtoBaseStation:
+    """A femto base station.
+
+    Attributes
+    ----------
+    fbs_id:
+        1-based identifier (index 0 is reserved for the MBS throughout the
+        paper's notation).
+    position:
+        ``(x, y)`` location in metres.
+    coverage_radius_m:
+        Radius of the coverage disk; overlapping disks define interference
+        (Definition 1).
+    tx_power_dbm:
+        Downlink transmit power on licensed channels -- much lower than the
+        MBS, which is the femtocell premise.
+    """
+
+    fbs_id: int
+    position: Point
+    coverage_radius_m: float = 30.0
+    tx_power_dbm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fbs_id < 1:
+            raise ConfigurationError(
+                f"fbs_id must be >= 1 (0 is the MBS), got {self.fbs_id}")
+        object.__setattr__(self, "position", _check_point(self.position, "position"))
+        check_positive(self.coverage_radius_m, "coverage_radius_m")
+
+    def covers(self, point: Point) -> bool:
+        """Whether ``point`` lies within this FBS's coverage disk."""
+        return distance(self.position, _check_point(point, "point")) <= self.coverage_radius_m
+
+    def overlaps(self, other: "FemtoBaseStation") -> bool:
+        """Whether two coverage disks overlap (=> interference edge)."""
+        return (distance(self.position, other.position)
+                < self.coverage_radius_m + other.coverage_radius_m)
+
+
+@dataclass(frozen=True)
+class CrUser:
+    """A CR user (femtocell subscriber) receiving one video stream.
+
+    Attributes
+    ----------
+    user_id:
+        0-based identifier.
+    position:
+        ``(x, y)`` location in metres.
+    sequence_name:
+        Name of the video streamed to this user (see
+        :data:`repro.video.SEQUENCE_LIBRARY`).
+    fbs_id:
+        The associated FBS (nearest, per Section IV-B); ``None`` until
+        association is performed by :func:`repro.net.topology.build_topology`.
+    """
+
+    user_id: int
+    position: Point
+    sequence_name: str
+    fbs_id: Optional[int] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.user_id < 0:
+            raise ConfigurationError(f"user_id must be non-negative, got {self.user_id}")
+        object.__setattr__(self, "position", _check_point(self.position, "position"))

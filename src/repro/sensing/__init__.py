@@ -1,0 +1,27 @@
+"""Spectrum sensing and opportunistic access.
+
+Implements Section III-B (per-sensor hypothesis tests with false-alarm and
+miss-detection probabilities, Bayesian fusion of multiple sensing results,
+eqs. (2)-(4)) and Section III-C (the probabilistic access policy that caps
+primary-user collision probability, eqs. (5)-(7)).
+"""
+
+from repro.sensing.access import AccessDecision, AccessPolicy
+from repro.sensing.assignment import assign_sensors_round_robin
+from repro.sensing.detector import SensingResult, SpectrumSensor
+from repro.sensing.fusion import (
+    fuse_iterative,
+    fuse_posterior,
+    posterior_idle_probability,
+)
+
+__all__ = [
+    "AccessDecision",
+    "AccessPolicy",
+    "SensingResult",
+    "SpectrumSensor",
+    "assign_sensors_round_robin",
+    "fuse_iterative",
+    "fuse_posterior",
+    "posterior_idle_probability",
+]

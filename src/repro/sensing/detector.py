@@ -1,0 +1,127 @@
+"""Per-sensor spectrum-detection model.
+
+Section III-B models each sensing attempt as a binary hypothesis test on
+channel ``m`` -- ``H0`` (idle) vs ``H1`` (busy) -- characterised by two
+error probabilities:
+
+* **false alarm** ``epsilon``:  ``Pr{Theta = 1 | H0}`` -- an idle channel is
+  reported busy and a spectrum opportunity is wasted;
+* **miss detection** ``delta``:  ``Pr{Theta = 0 | H1}`` -- a busy channel is
+  reported idle, risking collision with primary users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.spectrum.markov import BUSY, IDLE
+from repro.utils.errors import ConfigurationError
+from repro.utils.rng import RandomState, as_generator
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class SensingResult:
+    """One sensing observation ``Theta_i^m`` with its error profile.
+
+    Attributes
+    ----------
+    channel:
+        Licensed-channel index that was sensed.
+    observation:
+        Reported state: 0 (idle) or 1 (busy); the paper's ``Theta``.
+    false_alarm:
+        The reporting sensor's false-alarm probability ``epsilon_i^m``.
+    miss_detection:
+        The reporting sensor's miss-detection probability ``delta_i^m``.
+    sensor_id:
+        Identifier of the sensing node (CR user or FBS antenna).
+    """
+
+    channel: int
+    observation: int
+    false_alarm: float
+    miss_detection: float
+    sensor_id: int = -1
+
+    def __post_init__(self) -> None:
+        if self.observation not in (IDLE, BUSY):
+            raise ConfigurationError(
+                f"observation must be 0 or 1, got {self.observation!r}")
+        check_probability(self.false_alarm, "false_alarm")
+        check_probability(self.miss_detection, "miss_detection")
+
+    @property
+    def likelihood_ratio(self) -> float:
+        """Likelihood ratio ``Pr{Theta | H1} / Pr{Theta | H0}``.
+
+        This is the per-observation factor inside the product of eq. (2):
+        ``delta^(1-Theta) (1-delta)^Theta / (eps^Theta (1-eps)^(1-Theta))``.
+        """
+        if self.observation == BUSY:
+            numerator = 1.0 - self.miss_detection
+            denominator = self.false_alarm
+        else:
+            numerator = self.miss_detection
+            denominator = 1.0 - self.false_alarm
+        if denominator == 0.0:
+            return np.inf if numerator > 0.0 else 1.0
+        return numerator / denominator
+
+
+class SpectrumSensor:
+    """A sensing front end with fixed error probabilities.
+
+    Each CR user carries one software-radio transceiver and senses exactly
+    one licensed channel per slot; each FBS has ``M`` antennas and may sense
+    all channels (Section III-A/B).  Both are modelled by this class -- the
+    owner decides how many channels to sense per slot.
+
+    Parameters
+    ----------
+    false_alarm:
+        ``epsilon`` -- probability of reporting busy when the channel is idle.
+    miss_detection:
+        ``delta`` -- probability of reporting idle when the channel is busy.
+    sensor_id:
+        Identifier propagated into :class:`SensingResult`.
+    rng:
+        Randomness source for observation noise.
+    """
+
+    def __init__(self, false_alarm: float, miss_detection: float, *,
+                 sensor_id: int = -1, rng: RandomState = None) -> None:
+        self.false_alarm = check_probability(false_alarm, "false_alarm")
+        self.miss_detection = check_probability(miss_detection, "miss_detection")
+        self.sensor_id = int(sensor_id)
+        self._rng = as_generator(rng)
+
+    def sense(self, channel: int, true_state: int) -> SensingResult:
+        """Observe ``channel`` whose true occupancy is ``true_state``.
+
+        Returns a noisy :class:`SensingResult` according to the sensor's
+        error probabilities.
+        """
+        if true_state not in (IDLE, BUSY):
+            raise ConfigurationError(f"true_state must be 0 or 1, got {true_state!r}")
+        if true_state == IDLE:
+            observation = BUSY if self._rng.random() < self.false_alarm else IDLE
+        else:
+            observation = IDLE if self._rng.random() < self.miss_detection else BUSY
+        return SensingResult(
+            channel=int(channel),
+            observation=observation,
+            false_alarm=self.false_alarm,
+            miss_detection=self.miss_detection,
+            sensor_id=self.sensor_id,
+        )
+
+    def error_profile(self) -> tuple:
+        """The ``(epsilon, delta)`` pair of this sensor."""
+        return (self.false_alarm, self.miss_detection)
+
+    def __repr__(self) -> str:
+        return (f"SpectrumSensor(id={self.sensor_id}, epsilon={self.false_alarm}, "
+                f"delta={self.miss_detection})")

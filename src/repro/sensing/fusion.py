@@ -1,0 +1,114 @@
+"""Bayesian fusion of sensing results (eqs. (2)-(4)).
+
+Given ``L`` independent sensing observations of channel ``m`` and the
+channel's prior busy probability (its utilisation ``eta_m``), the posterior
+probability that the channel is available (idle) is
+
+    P_A(Theta_1..Theta_L)
+      = [ 1 + eta/(1-eta) * prod_i LR_i ]^{-1}          (eq. 2)
+
+where ``LR_i`` is the likelihood ratio of observation ``i``.  The paper
+also gives an iterative decomposition (eqs. (3)-(4)) that folds one
+observation at a time -- convenient when results arrive sequentially over
+the common channel.  Both forms are implemented and tested for exact
+agreement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.sensing.detector import SensingResult
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_probability
+
+
+def posterior_idle_probability(eta: float, results: Sequence[SensingResult]) -> float:
+    """Closed-form posterior ``P_A`` of eq. (2).
+
+    Parameters
+    ----------
+    eta:
+        Prior busy probability of the channel (its utilisation, eq. 1).
+    results:
+        Sensing observations of the *same* channel.  An empty sequence
+        returns the prior idle probability ``1 - eta``.
+
+    Returns
+    -------
+    float
+        ``Pr{H0 | Theta_1..Theta_L}`` in ``[0, 1]``.
+    """
+    eta = check_probability(eta, "eta")
+    _check_single_channel(results)
+    if eta == 0.0:
+        return 1.0
+    if eta == 1.0:
+        return 0.0
+    # Work in log space: with many observations the likelihood-ratio
+    # product under/overflows double precision long before L is large.
+    log_ratio = math.log(eta / (1.0 - eta))
+    for result in results:
+        lr = result.likelihood_ratio
+        if lr == 0.0:
+            return 1.0
+        if math.isinf(lr):
+            return 0.0
+        log_ratio += math.log(lr)
+    # P_A = 1 / (1 + exp(log_ratio)) = sigmoid(-log_ratio)
+    if log_ratio > 700.0:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(log_ratio))
+
+
+def fuse_posterior(eta: float, results: Sequence[SensingResult]) -> float:
+    """Alias for :func:`posterior_idle_probability` (the paper's ``P_A^m``)."""
+    return posterior_idle_probability(eta, results)
+
+
+def fuse_iterative(eta: float, results: Iterable[SensingResult]) -> float:
+    """Posterior computed by the paper's iterative updates (eqs. (3)-(4)).
+
+    Folds observations one at a time: eq. (3) initialises with the first
+    observation, eq. (4) updates with each subsequent one.  Numerically
+    equivalent to :func:`posterior_idle_probability`; provided because the
+    paper's protocol shares results incrementally over the common channel.
+    """
+    eta = check_probability(eta, "eta")
+    results = list(results)
+    _check_single_channel(results)
+    if not results:
+        return 1.0 - eta
+    if eta == 0.0:
+        return 1.0
+    if eta == 1.0:
+        return 0.0
+    # eq. (3): first observation, prior odds eta/(1-eta).
+    posterior = _fold(eta / (1.0 - eta), results[0])
+    # eq. (4): each further observation uses the previous posterior's odds
+    # (1/P_A - 1) as its prior odds.
+    for result in results[1:]:
+        if posterior == 0.0:
+            return 0.0
+        if posterior == 1.0:
+            return 1.0
+        prior_odds = 1.0 / posterior - 1.0
+        posterior = _fold(prior_odds, result)
+    return posterior
+
+
+def _fold(prior_busy_odds: float, result: SensingResult) -> float:
+    """One Bayes update: posterior idle prob from prior busy odds + result."""
+    lr = result.likelihood_ratio
+    if math.isinf(lr):
+        return 0.0 if prior_busy_odds > 0.0 else 1.0
+    odds = prior_busy_odds * lr
+    return 1.0 / (1.0 + odds)
+
+
+def _check_single_channel(results: Sequence[SensingResult]) -> None:
+    channels = {result.channel for result in results}
+    if len(channels) > 1:
+        raise ConfigurationError(
+            f"fusion requires observations of a single channel, got channels {sorted(channels)}")

@@ -1,0 +1,27 @@
+"""Slotted Monte-Carlo simulation of the femtocell CR network.
+
+Mirrors the paper's evaluation methodology (Section V): each slot runs a
+sensing phase (noisy observations, Bayesian fusion, collision-capped
+access), an allocation phase (one of the four schemes), a transmission
+phase (block-fading Bernoulli deliveries) and an ACK phase (assumed
+error-free); GOP deadlines of ``T`` slots gate the PSNR accounting, and
+each experiment point averages several independent runs with 95%
+confidence intervals.
+"""
+
+from repro.sim.channel_assignment import color_partition_allocation
+from repro.sim.config import ScenarioConfig
+from repro.sim.engine import SimulationEngine, SlotRecord
+from repro.sim.metrics import RunMetrics, summarize_runs
+from repro.sim.runner import MonteCarloRunner, SweepResult
+
+__all__ = [
+    "MonteCarloRunner",
+    "RunMetrics",
+    "ScenarioConfig",
+    "SimulationEngine",
+    "SlotRecord",
+    "SweepResult",
+    "color_partition_allocation",
+    "summarize_runs",
+]

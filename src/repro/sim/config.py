@@ -1,0 +1,156 @@
+"""Scenario configuration for the simulation engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.allocator import SCHEMES
+from repro.net.topology import Topology
+from repro.utils.errors import ConfigurationError
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything the engine needs to simulate one scenario.
+
+    Defaults follow the paper's first evaluation scenario (Section V-A):
+    ``M = 8`` channels with ``P01 = 0.4``, ``P10 = 0.3`` (utilisation
+    ``eta ~ 0.571``), collision cap ``gamma = 0.2``, sensing errors
+    ``epsilon = delta = 0.3``, GOP deadline ``T = 10`` slots, and 0.3 Mbps
+    per channel.
+
+    Attributes
+    ----------
+    topology:
+        The resolved network (nodes, association, link budgets,
+        interference graph).
+    scheme:
+        Allocation scheme: ``proposed``, ``proposed-fast``,
+        ``heuristic1``, or ``heuristic2``.
+    n_channels:
+        Number of licensed channels ``M``.
+    p01, p10:
+        Occupancy-chain transition probabilities (identical across
+        channels, as in the paper's evaluation).
+    gamma:
+        Maximum allowable collision probability with primary users.
+    common_bandwidth_mbps, licensed_bandwidth_mbps:
+        ``B0`` and ``B1``.
+    false_alarm, miss_detection:
+        Sensing error probabilities ``epsilon`` and ``delta`` (identical
+        across sensors, as in the paper's evaluation).
+    deadline_slots:
+        GOP delivery deadline ``T``.
+    n_gops:
+        Simulation horizon in GOP windows (total slots =
+        ``n_gops * deadline_slots``).
+    realized_throughput:
+        ``False`` (paper mode): the PSNR recursion uses the expected
+        channel count ``G_t`` exactly as written under problem (10).
+        ``True`` (ablation): licensed-channel throughput counts only
+        channels that were truly idle, so misdetected collisions destroy
+        the slot's licensed payload.
+    access_policy:
+        ``"probabilistic"`` (paper, eq. 7) or ``"threshold"`` (A1
+        ablation: deterministic access iff the busy posterior clears the
+        cap).
+    single_observation_fusion:
+        A2 ablation: fuse only the first sensing result per channel
+        instead of all of them (quantifies the value of cooperative
+        multi-sensor fusion, eqs. 3-4).
+    belief_tracking:
+        Extension: carry each channel's posterior across slots through
+        the Markov transition matrix instead of restarting from the
+        stationary prior ``eta_m`` every slot (see
+        :mod:`repro.sensing.belief`).
+    rd_variability:
+        Extension: per-GOP encoding-complexity variation (sigma of the
+        lognormal AR(1) trace in :mod:`repro.video.traces`); 0 (default)
+        reproduces the paper's constant R-D model.
+    rd_trace_phi:
+        AR(1) correlation of the complexity trace between GOPs.
+    nal_quantized:
+        Extension: record each GOP's quality at NAL-unit granularity (the
+        defining property of MGS, Section I) -- only fully received
+        enhancement units count.  ``False`` keeps the paper's fluid
+        rate model.
+    nal_packet_bits:
+        Nominal NAL-unit payload when ``nal_quantized`` is on.
+    seed:
+        Root RNG seed; ``None`` for fresh entropy.
+    """
+
+    topology: Topology
+    scheme: str = "proposed"
+    n_channels: int = 8
+    p01: float = 0.4
+    p10: float = 0.3
+    gamma: float = 0.2
+    common_bandwidth_mbps: float = 0.3
+    licensed_bandwidth_mbps: float = 0.3
+    false_alarm: float = 0.3
+    miss_detection: float = 0.3
+    deadline_slots: int = 10
+    n_gops: int = 3
+    realized_throughput: bool = False
+    access_policy: str = "probabilistic"
+    single_observation_fusion: bool = False
+    belief_tracking: bool = False
+    rd_variability: float = 0.0
+    rd_trace_phi: float = 0.8
+    nal_quantized: bool = False
+    nal_packet_bits: int = 8000
+    seed: Optional[int] = 7
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(
+                f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+        if self.access_policy not in ("probabilistic", "threshold"):
+            raise ConfigurationError(
+                f"access_policy must be 'probabilistic' or 'threshold', "
+                f"got {self.access_policy!r}")
+        if self.n_channels < 1:
+            raise ConfigurationError(
+                f"n_channels must be >= 1, got {self.n_channels}")
+        if self.deadline_slots < 1:
+            raise ConfigurationError(
+                f"deadline_slots must be >= 1, got {self.deadline_slots}")
+        if self.n_gops < 1:
+            raise ConfigurationError(f"n_gops must be >= 1, got {self.n_gops}")
+        check_probability(self.p01, "p01")
+        check_probability(self.p10, "p10")
+        check_probability(self.gamma, "gamma")
+        check_probability(self.false_alarm, "false_alarm")
+        check_probability(self.miss_detection, "miss_detection")
+        check_positive(self.common_bandwidth_mbps, "common_bandwidth_mbps")
+        check_positive(self.licensed_bandwidth_mbps, "licensed_bandwidth_mbps")
+        check_positive(self.rd_variability, "rd_variability", allow_zero=True)
+        check_probability(self.rd_trace_phi, "rd_trace_phi", allow_one=False)
+        if self.nal_packet_bits <= 0:
+            raise ConfigurationError(
+                f"nal_packet_bits must be positive, got {self.nal_packet_bits}")
+
+    @property
+    def n_slots(self) -> int:
+        """Total simulated slots."""
+        return self.n_gops * self.deadline_slots
+
+    @property
+    def utilization(self) -> float:
+        """Stationary channel utilisation ``eta`` implied by (p01, p10)."""
+        return self.p01 / (self.p01 + self.p10)
+
+    def with_scheme(self, scheme: str) -> "ScenarioConfig":
+        """Copy of this config running a different allocation scheme."""
+        return replace(self, scheme=scheme)
+
+    def with_seed(self, seed: Optional[int]) -> "ScenarioConfig":
+        """Copy of this config with a different root seed."""
+        return replace(self, seed=seed)
+
+    def replace(self, **changes) -> "ScenarioConfig":
+        """General-purpose copy-with-changes (dataclass ``replace``)."""
+        return replace(self, **changes)

@@ -1,0 +1,384 @@
+"""The slotted simulation engine.
+
+One :class:`SimulationEngine` instance simulates one scenario run.  Every
+slot executes the paper's four phases:
+
+1. **Sensing** -- each FBS senses all ``M`` licensed channels (it has
+   ``M`` antennas, Section III-A); each CR user senses one channel,
+   assigned round-robin and rotated every slot so all channels keep
+   getting user observations.  All results are fused per channel with the
+   Bayesian update of eqs. (2)-(4).
+2. **Access decision** -- the collision-capped probabilistic policy of
+   eqs. (5)-(7) yields the access set ``A(t)`` and the posteriors behind
+   ``G_t``.
+3. **Allocation** -- interfering deployments first run the channel
+   allocation (Table III greedy for the proposed scheme, colour-partition
+   for the heuristics); then the scheme's time-share allocator solves the
+   slot problem.
+4. **Transmission + ACK** -- block-fading Bernoulli deliveries realise the
+   indicators ``xi`` and the PSNR recursion of problem (10) advances the
+   per-user GOP clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.core.allocator import get_allocator
+from repro.core.dual import fast_solve
+from repro.core.bounds import GreedyTrace, tighter_upper_bound
+from repro.core.greedy import GreedyChannelAllocator
+from repro.core.problem import Allocation, SlotProblem, UserDemand
+from repro.sensing.access import (
+    AccessDecision,
+    AccessPolicy,
+    CollisionTracker,
+    HardThresholdAccessPolicy,
+)
+from repro.sensing.belief import ChannelBeliefTracker
+from repro.sensing.assignment import assign_sensors_round_robin
+from repro.sensing.detector import SensingResult, SpectrumSensor
+from repro.sensing.fusion import fuse_posterior
+from repro.sim.channel_assignment import (
+    color_partition_allocation,
+    expected_channels_of,
+)
+from repro.sim.config import ScenarioConfig
+from repro.sim.metrics import RunMetrics, compute_run_metrics
+from repro.spectrum.channel import Spectrum
+from repro.utils.rng import spawn_streams
+from repro.video.gop import GopClock
+from repro.video.sequences import get_sequence
+from repro.video.traces import GopComplexityTrace
+
+
+@dataclass
+class SlotRecord:
+    """Everything that happened in one simulated slot.
+
+    Useful for examples, debugging, and white-box tests; the engine keeps
+    only light aggregates unless asked to record slots.
+    """
+
+    slot: int
+    occupancy: np.ndarray
+    access: AccessDecision
+    channel_allocation: Dict[int, Set[int]]
+    problem: SlotProblem
+    allocation: Allocation
+    increments: Dict[int, float]
+    greedy_trace: Optional[GreedyTrace] = None
+    bound_gap: float = 0.0
+
+
+class SimulationEngine:
+    """Simulates one run of one scenario.
+
+    Parameters
+    ----------
+    config:
+        The scenario.
+    record_slots:
+        Keep a :class:`SlotRecord` per slot (memory-heavy for long runs).
+    """
+
+    def __init__(self, config: ScenarioConfig, *, record_slots: bool = False) -> None:
+        self.config = config
+        self.record_slots = bool(record_slots)
+        self.records: List[SlotRecord] = []
+
+        streams = spawn_streams(
+            config.seed, ["spectrum", "sensing", "access", "fading", "traces"])
+        self._fading_rng = streams["fading"]
+
+        self.spectrum = Spectrum(
+            config.n_channels, config.p01, config.p10,
+            licensed_bandwidth_mbps=config.licensed_bandwidth_mbps,
+            common_bandwidth_mbps=config.common_bandwidth_mbps,
+            max_collision_probability=config.gamma,
+            rng=streams["spectrum"],
+        )
+        policy_class = (HardThresholdAccessPolicy
+                        if config.access_policy == "threshold" else AccessPolicy)
+        self.access_policy = policy_class(
+            np.full(config.n_channels, config.gamma), rng=streams["access"])
+        self.collisions = CollisionTracker(config.n_channels)
+        self.belief_tracker = (
+            ChannelBeliefTracker(config.n_channels, config.p01, config.p10)
+            if config.belief_tracking else None)
+
+        topology = config.topology
+        sensing_rng = streams["sensing"]
+        self._user_sensors = {
+            user.user_id: SpectrumSensor(
+                config.false_alarm, config.miss_detection,
+                sensor_id=user.user_id, rng=sensing_rng)
+            for user in topology.users
+        }
+        # FBS sensor ids live above the user id space to stay unique.
+        id_base = 1 + max(user.user_id for user in topology.users)
+        self._fbs_sensors = {
+            fbs.fbs_id: SpectrumSensor(
+                config.false_alarm, config.miss_detection,
+                sensor_id=id_base + fbs.fbs_id, rng=sensing_rng)
+            for fbs in topology.fbss
+        }
+
+        self.allocator = get_allocator(config.scheme)
+        self._interfering = topology.interference_graph.number_of_edges() > 0
+        self._greedy = (GreedyChannelAllocator(topology.interference_graph)
+                        if self._interfering else None)
+        self._is_proposed = config.scheme in ("proposed", "proposed-fast")
+
+        self.clocks: Dict[int, GopClock] = {}
+        self._demands_static: Dict[int, dict] = {}
+        for user in topology.users:
+            sequence = get_sequence(user.sequence_name)
+            self.clocks[user.user_id] = GopClock(
+                sequence, config.deadline_slots,
+                quantum_db=self._nal_quantum(sequence, 1.0))
+            self._demands_static[user.user_id] = {
+                "fbs_id": user.fbs_id,
+                "success_mbs": topology.mbs_success[user.user_id],
+                "success_fbs": topology.fbs_success[user.user_id],
+                "r_mbs": sequence.rd.slot_increment(
+                    config.common_bandwidth_mbps, config.deadline_slots),
+                "r_fbs": sequence.rd.slot_increment(
+                    config.licensed_bandwidth_mbps, config.deadline_slots),
+            }
+        # Per-GOP encoding-complexity traces (extension; constant 1.0
+        # when rd_variability is 0, reproducing the paper's model).
+        trace_rng = streams["traces"]
+        self._rd_traces = {
+            user.user_id: GopComplexityTrace(
+                sigma=config.rd_variability, phi=config.rd_trace_phi,
+                rng=trace_rng)
+            for user in topology.users
+        }
+        self._rd_scale = {
+            user_id: 1.0 / trace.complexity
+            for user_id, trace in self._rd_traces.items()
+        }
+        self._slot = 0
+        self._gop_bound_gap = 0.0
+        self._bound_gaps_per_gop: List[float] = []
+
+    @property
+    def slot(self) -> int:
+        """Number of slots simulated so far."""
+        return self._slot
+
+    def _nal_quantum(self, sequence, rd_scale: float) -> float:
+        """Per-GOP quality quantum of one NAL unit (0 when disabled).
+
+        One unit of ``nal_packet_bits`` is worth ``beta_eff * bits /
+        (1e6 * gop_duration)`` dB, with the effective slope scaled by the
+        GOP's complexity (see :mod:`repro.video.packets` for the
+        packet-level counterpart of this arithmetic).
+        """
+        if not self.config.nal_quantized:
+            return 0.0
+        beta_eff = sequence.rd.beta_db_per_mbps * rd_scale
+        return (beta_eff * self.config.nal_packet_bits
+                / (1e6 * sequence.gop_duration_s))
+
+    def build_slot_problem(self, expected_channels: Dict[int, float],
+                           csi: Optional[Dict[int, tuple]] = None) -> SlotProblem:
+        """Assemble the slot problem from the current PSNR states.
+
+        Parameters
+        ----------
+        expected_channels:
+            ``{fbs_id: G_i}`` for this slot.
+        csi:
+            Optional ``{user_id: (margin_mbs, margin_fbs)}`` realised
+            block-fading margins; attached to the demands so heuristic
+            schedulers can exploit instantaneous channel conditions.
+        """
+        users = []
+        for user_id, static in self._demands_static.items():
+            margins = csi.get(user_id) if csi else None
+            clock = self.clocks[user_id]
+            fields = dict(static)
+            # A complexity-c GOP needs c times the rate per dB: scale the
+            # effective slopes (the quality ceiling is invariant).
+            scale = self._rd_scale[user_id]
+            fields["r_mbs"] = fields["r_mbs"] * scale
+            fields["r_fbs"] = fields["r_fbs"] * scale
+            if clock.headroom_db <= 0.0:
+                # The GOP is fully delivered: the base station has no more
+                # enhancement bits to send this window, so the stream's
+                # effective rate slope is zero for every scheduler.
+                fields["r_mbs"] = 0.0
+                fields["r_fbs"] = 0.0
+            users.append(UserDemand(
+                user_id=user_id,
+                w_prev=clock.psnr_db,
+                csi_mbs=margins[0] if margins else None,
+                csi_fbs=margins[1] if margins else None,
+                **fields,
+            ))
+        return SlotProblem(users=users, expected_channels=expected_channels)
+
+    def _draw_csi(self) -> Dict[int, tuple]:
+        """Realise this slot's block-fading margins for every link.
+
+        Under Rayleigh fading the decoding margin ``X / H`` is exponential
+        with the link's mean margin; a link decodes iff its draw exceeds 1,
+        which happens with exactly the ``bar P^F`` probability the
+        allocation problem uses.
+        """
+        topology = self.config.topology
+        csi = {}
+        for user in topology.users:
+            csi[user.user_id] = (
+                float(self._fading_rng.exponential(topology.mbs_margin[user.user_id])),
+                float(self._fading_rng.exponential(topology.fbs_margin[user.user_id])),
+            )
+        return csi
+
+    def step(self) -> SlotRecord:
+        """Simulate one complete time slot and return its record."""
+        config = self.config
+        state = self.spectrum.advance()
+
+        # --- Sensing phase -------------------------------------------------
+        results_by_channel: Dict[int, List[SensingResult]] = {
+            m: [] for m in range(config.n_channels)}
+        for fbs_id, sensor in self._fbs_sensors.items():
+            for m in range(config.n_channels):
+                results_by_channel[m].append(sensor.sense(m, int(state.occupancy[m])))
+        user_ids = sorted(self._user_sensors)
+        user_assignment = assign_sensors_round_robin(
+            user_ids, config.n_channels, offset=self._slot)
+        for user_id, channel in user_assignment.items():
+            sensor = self._user_sensors[user_id]
+            results_by_channel[channel].append(
+                sensor.sense(channel, int(state.occupancy[channel])))
+        if config.single_observation_fusion:
+            # A2 ablation: only the first result (the first FBS's own
+            # antenna) reaches the fusion centre.
+            results_by_channel = {m: results[:1]
+                                  for m, results in results_by_channel.items()}
+        if self.belief_tracker is not None:
+            self.belief_tracker.predict()
+            posteriors = np.array([
+                self.belief_tracker.fuse(m, results_by_channel[m])
+                for m in range(config.n_channels)
+            ])
+        else:
+            etas = self.spectrum.utilizations
+            posteriors = np.array([
+                fuse_posterior(etas[m], results_by_channel[m])
+                for m in range(config.n_channels)
+            ])
+
+        # --- Access decision ------------------------------------------------
+        access = self.access_policy.decide(posteriors)
+        self.collisions.record(access, state.occupancy)
+        available = access.available_channels.tolist()
+        posterior_map = {m: float(posteriors[m]) for m in range(config.n_channels)}
+
+        # --- Channel + time-share allocation --------------------------------
+        csi = self._draw_csi()
+        fbs_ids = sorted({static["fbs_id"] for static in self._demands_static.values()})
+        greedy_trace: Optional[GreedyTrace] = None
+        bound_gap = 0.0
+        if not self._interfering:
+            # Full spatial reuse: every FBS may access all of A(t).
+            g_all = access.expected_available
+            channel_map = {i: set(available) for i in fbs_ids}
+            expected = {i: g_all for i in fbs_ids}
+            problem = self.build_slot_problem(expected, csi)
+        elif self._is_proposed:
+            problem = self.build_slot_problem({i: 0.0 for i in fbs_ids}, csi)
+            greedy_result = self._greedy.allocate(problem, available, posterior_map)
+            channel_map = greedy_result.channel_allocation
+            expected = greedy_result.expected_channels
+            problem = problem.with_expected_channels(expected)
+            greedy_trace = greedy_result.trace
+            # Two valid upper bounds on the slot optimum Q(Omega): the
+            # eq. (23) trace bound, and the interference-free relaxation
+            # (Q is nondecreasing in every G_i, so granting all FBSs the
+            # whole access set cannot be worse than any conflict-free
+            # allocation).  Take the tighter of the two.
+            relaxed = fast_solve(problem.with_expected_channels(
+                {i: access.expected_available for i in fbs_ids}))
+            bound_q = min(tighter_upper_bound(greedy_trace), relaxed.objective)
+            bound_gap = max(0.0, bound_q - greedy_trace.q_final)
+        else:
+            channel_map = color_partition_allocation(
+                config.topology.interference_graph, fbs_ids, available, posterior_map)
+            expected = expected_channels_of(channel_map, posterior_map)
+            problem = self.build_slot_problem(expected, csi)
+        allocation = self.allocator.allocate(problem)
+
+        # --- Transmission + ACK phase ---------------------------------------
+        # Block fading: the margin drawn at slot start decides every packet
+        # of this slot on that link (xi = 1 iff margin > 1).
+        idle_truth = set(np.flatnonzero(state.occupancy == 0).tolist())
+        increments: Dict[int, float] = {}
+        for user in problem.users:
+            margin_mbs, margin_fbs = csi[user.user_id]
+            increment = 0.0
+            if allocation.uses_mbs(user.user_id):
+                rho = allocation.rho_mbs.get(user.user_id, 0.0)
+                if rho > 0.0 and margin_mbs > 1.0:
+                    increment = rho * user.r_mbs
+            else:
+                rho = allocation.rho_fbs.get(user.user_id, 0.0)
+                if rho > 0.0:
+                    if config.realized_throughput:
+                        multiplier = float(len(
+                            channel_map.get(user.fbs_id, set())
+                            & set(available) & idle_truth))
+                    else:
+                        multiplier = problem.expected_channels[user.fbs_id]
+                    if multiplier > 0.0 and margin_fbs > 1.0:
+                        increment = rho * multiplier * user.r_fbs
+            # The clock clamps at the GOP's enhancement ceiling; capacity
+            # spent past it is wasted (the winner-take-all baseline pays
+            # this cost the most).
+            increments[user.user_id] = self.clocks[user.user_id].add_quality(increment)
+
+        self._gop_bound_gap += bound_gap
+        gop_elapsed = False
+        for clock in self.clocks.values():
+            gop_elapsed = clock.tick() or gop_elapsed
+        if gop_elapsed:
+            self._bound_gaps_per_gop.append(self._gop_bound_gap)
+            self._gop_bound_gap = 0.0
+            for user_id, trace in self._rd_traces.items():
+                self._rd_scale[user_id] = 1.0 / trace.advance()
+                clock = self.clocks[user_id]
+                clock.quantum_db = self._nal_quantum(
+                    clock.sequence, self._rd_scale[user_id])
+
+        self._slot += 1
+        record = SlotRecord(
+            slot=self._slot,
+            occupancy=state.occupancy,
+            access=access,
+            channel_allocation=channel_map,
+            problem=problem,
+            allocation=allocation,
+            increments=increments,
+            greedy_trace=greedy_trace,
+            bound_gap=bound_gap,
+        )
+        if self.record_slots:
+            self.records.append(record)
+        return record
+
+    def run(self) -> RunMetrics:
+        """Simulate the configured horizon and return aggregate metrics."""
+        for _ in range(self.config.n_slots):
+            self.step()
+        return compute_run_metrics(
+            clocks=self.clocks,
+            collision_rates=self.collisions.collision_rates(),
+            bound_gaps_per_gop=self._bound_gaps_per_gop,
+        )

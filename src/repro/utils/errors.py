@@ -1,0 +1,39 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised intentionally by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An input, parameter, or scenario configuration is invalid.
+
+    Inherits from :class:`ValueError` so that call sites which validate
+    scalar arguments behave like idiomatic Python APIs.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """A resource-allocation problem instance has no feasible solution."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final value of the convergence criterion.
+    """
+
+    def __init__(self, message, iterations=None, residual=None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual

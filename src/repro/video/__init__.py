@@ -1,0 +1,29 @@
+"""MGS scalable-video model.
+
+Implements the paper's video performance measure (Section III-E): the
+quality of a reconstructed H.264/SVC medium-grain-scalable (MGS) video is
+linear in the received data rate, ``W(R) = alpha + beta * R`` (eq. 9),
+where ``W`` is the average Y-PSNR in dB.  Each GOP must be delivered
+within ``T`` time slots; packets are sent in decreasing order of
+significance and overdue packets are discarded.
+
+The paper fits ``alpha`` and ``beta`` per sequence with the JVSM 9.13
+codec on the CIF sequences *Bus*, *Mobile*, and *Harbor*; we ship
+representative constants for the same sequences (see DESIGN.md, section 5,
+for the substitution rationale).
+"""
+
+from repro.video.gop import GopClock
+from repro.video.packets import NalPacket, packetize_gop
+from repro.video.rd_model import MgsRateDistortion
+from repro.video.sequences import SEQUENCE_LIBRARY, VideoSequence, get_sequence
+
+__all__ = [
+    "GopClock",
+    "MgsRateDistortion",
+    "NalPacket",
+    "SEQUENCE_LIBRARY",
+    "VideoSequence",
+    "get_sequence",
+    "packetize_gop",
+]

@@ -1,0 +1,88 @@
+"""The MGS rate-distortion model ``W(R) = alpha + beta * R`` (eq. 9).
+
+``alpha`` is the PSNR of the base layer alone (received rate ~ 0 extra)
+and ``beta`` is the PSNR gain in dB per Mbps of received MGS enhancement
+data.  The model already averages over decoding dependencies and error
+propagation across frames (the paper cites Wien et al. [5]).
+
+Problem (10) uses per-slot PSNR increments rather than rates directly:
+a user receiving the full bandwidth ``B_i`` of one channel for one of the
+``T`` slots in a GOP window gains ``R_{i,j} = beta_j * B_i / T`` dB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MgsRateDistortion:
+    """Linear MGS rate-distortion curve for one encoded sequence.
+
+    Attributes
+    ----------
+    alpha_db:
+        Base-layer PSNR in dB (the intercept of eq. 9).
+    beta_db_per_mbps:
+        PSNR slope in dB per Mbps of received enhancement-layer rate.
+    max_rate_mbps:
+        Rate at which the encoding saturates (all MGS NAL units received);
+        beyond it extra rate adds no quality.  ``inf`` disables saturation,
+        matching the paper's unbounded linear model.
+    """
+
+    alpha_db: float
+    beta_db_per_mbps: float
+    max_rate_mbps: float = float("inf")
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha_db, "alpha_db")
+        check_positive(self.beta_db_per_mbps, "beta_db_per_mbps")
+        if self.max_rate_mbps <= 0:
+            raise ValueError(f"max_rate_mbps must be positive, got {self.max_rate_mbps}")
+
+    @property
+    def max_psnr_db(self) -> float:
+        """Quality when the whole enhancement layer is received.
+
+        Infinite when ``max_rate_mbps`` is infinite (the paper's unbounded
+        linear model).
+        """
+        if self.max_rate_mbps == float("inf"):
+            return float("inf")
+        return self.alpha_db + self.beta_db_per_mbps * self.max_rate_mbps
+
+    def psnr(self, rate_mbps: float) -> float:
+        """Average Y-PSNR at received rate ``rate_mbps`` (eq. 9)."""
+        rate_mbps = check_positive(rate_mbps, "rate_mbps", allow_zero=True)
+        effective = min(rate_mbps, self.max_rate_mbps)
+        return self.alpha_db + self.beta_db_per_mbps * effective
+
+    def rate_for_psnr(self, psnr_db: float) -> float:
+        """Received rate needed to reach ``psnr_db`` (inverse of eq. 9).
+
+        Returns 0 for targets at or below the base-layer quality.
+        """
+        if psnr_db <= self.alpha_db:
+            return 0.0
+        rate = (psnr_db - self.alpha_db) / self.beta_db_per_mbps
+        if rate > self.max_rate_mbps:
+            raise ValueError(
+                f"PSNR {psnr_db} dB is unreachable: saturates at "
+                f"{self.psnr(self.max_rate_mbps)} dB")
+        return rate
+
+    def slot_increment(self, bandwidth_mbps: float, deadline_slots: int) -> float:
+        """Per-slot PSNR increment constant ``R_{i,j} = beta * B_i / T``.
+
+        This is the quantity the allocation problem (10) works in: a user
+        holding one full channel of bandwidth ``B_i`` for one of the ``T``
+        slots of a GOP window gains this many dB.
+        """
+        bandwidth_mbps = check_positive(bandwidth_mbps, "bandwidth_mbps",
+                                        allow_zero=True)
+        if deadline_slots <= 0:
+            raise ValueError(f"deadline_slots must be positive, got {deadline_slots}")
+        return self.beta_db_per_mbps * bandwidth_mbps / float(deadline_slots)

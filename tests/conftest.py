@@ -1,0 +1,75 @@
+"""Shared fixtures and factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SlotProblem, UserDemand
+from repro.experiments.scenarios import interfering_fbs_scenario, single_fbs_scenario
+
+
+def make_user(user_id: int = 0, *, fbs_id: int = 1, w_prev: float = 30.0,
+              success_mbs: float = 0.8, success_fbs: float = 0.9,
+              r_mbs: float = 0.9, r_fbs: float = 0.96, **kwargs) -> UserDemand:
+    """A UserDemand with sensible defaults, overridable per test."""
+    return UserDemand(
+        user_id=user_id, fbs_id=fbs_id, w_prev=w_prev,
+        success_mbs=success_mbs, success_fbs=success_fbs,
+        r_mbs=r_mbs, r_fbs=r_fbs, **kwargs)
+
+
+def make_problem(n_users: int = 3, *, n_fbss: int = 1, g: float = 2.0,
+                 seed: int = 0) -> SlotProblem:
+    """A random-but-reproducible slot problem."""
+    rng = np.random.default_rng(seed)
+    users = [
+        make_user(
+            user_id=j,
+            fbs_id=1 + j % n_fbss,
+            w_prev=26.0 + 8.0 * rng.random(),
+            success_mbs=0.5 + 0.5 * rng.random(),
+            success_fbs=0.5 + 0.5 * rng.random(),
+            r_mbs=float(rng.random() * 2.0),
+            r_fbs=float(rng.random() * 1.5),
+        )
+        for j in range(n_users)
+    ]
+    return SlotProblem(
+        users=users,
+        expected_channels={i: g for i in range(1, n_fbss + 1)})
+
+
+def random_problem(rng: np.random.Generator, *, max_users: int = 6,
+                   max_fbss: int = 3) -> SlotProblem:
+    """A fully random slot problem drawn from ``rng`` (for sweeps)."""
+    n_users = int(rng.integers(1, max_users + 1))
+    n_fbss = int(rng.integers(1, max_fbss + 1))
+    users = [
+        make_user(
+            user_id=j,
+            fbs_id=int(rng.integers(1, n_fbss + 1)),
+            w_prev=26.0 + 8.0 * rng.random(),
+            success_mbs=0.4 + 0.6 * rng.random(),
+            success_fbs=0.4 + 0.6 * rng.random(),
+            r_mbs=float(rng.random() * 2.0),
+            r_fbs=float(rng.random() * 1.5),
+        )
+        for j in range(n_users)
+    ]
+    return SlotProblem(
+        users=users,
+        expected_channels={i: float(rng.random() * 4.0)
+                           for i in range(1, n_fbss + 1)})
+
+
+@pytest.fixture
+def single_config():
+    """Small single-FBS scenario config (fast to simulate)."""
+    return single_fbs_scenario(n_gops=2, seed=123)
+
+
+@pytest.fixture
+def interfering_config():
+    """Small interfering scenario config (fast to simulate)."""
+    return interfering_fbs_scenario(n_gops=1, n_channels=4, seed=123)

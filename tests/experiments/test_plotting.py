@@ -1,0 +1,76 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, chart_sweep
+from repro.utils.errors import ConfigurationError
+
+
+class TestAsciiChart:
+    def test_basic_rendering(self):
+        chart = ascii_chart({"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]},
+                            height=5, width=20)
+        assert "o = a" in chart
+        assert "x = b" in chart
+        assert "|" in chart
+
+    def test_extremes_on_axis(self):
+        chart = ascii_chart({"a": [10.0, 20.0]}, height=4, width=10)
+        assert "  20.00 |" in chart
+        assert "  10.00 |" in chart
+
+    def test_marker_positions(self):
+        chart = ascii_chart({"a": [0.0, 1.0]}, height=3, width=11)
+        lines = chart.splitlines()
+        # Max value on the top row at the last column; min on the bottom
+        # row at the first column.
+        assert lines[0].endswith("o")
+        assert lines[2].split("|")[1][0] == "o"
+
+    def test_flat_series_renders(self):
+        chart = ascii_chart({"a": [5.0, 5.0, 5.0]}, height=4, width=10)
+        plot_area = "\n".join(line for line in chart.splitlines() if "|" in line)
+        assert plot_area.count("o") == 3
+
+    def test_y_label(self):
+        chart = ascii_chart({"a": [1.0, 2.0]}, height=3, width=8,
+                            y_label="PSNR")
+        assert chart.splitlines()[0] == "PSNR"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1.0, 2.0], "b": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [1.0, 2.0]}, height=1)
+        with pytest.raises(ConfigurationError):
+            ascii_chart({f"s{i}": [1.0, 2.0] for i in range(9)})
+
+
+class TestChartSweep:
+    def test_renders_sweep(self, single_config):
+        from repro.sim.runner import sweep
+        result = sweep(single_config, "n_channels", [4, 8],
+                       ["heuristic1"], n_runs=1)
+        chart = chart_sweep(result)
+        assert "heuristic1" in chart
+        assert "x: n_channels = 4, 8" in chart
+
+    def test_upper_bound_series_included(self, interfering_config):
+        from repro.sim.runner import sweep
+        result = sweep(interfering_config, "n_channels", [4, 5],
+                       ["proposed-fast"], n_runs=1)
+        chart = chart_sweep(result, include_upper_bound=True)
+        assert "upper bound" in chart
+
+
+class TestCliChartFlag:
+    def test_fig4b_chart(self, capsys):
+        from repro.cli import main
+        assert main(["fig4b", "--runs", "1", "--gops", "1", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "Y-PSNR (dB)" in out
+        assert "x: n_channels" in out

@@ -1,0 +1,96 @@
+"""Tests for the text report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import Fig3Row
+from repro.experiments.report import (
+    bound_reference_scheme,
+    format_convergence,
+    format_fig3,
+    format_sweep,
+)
+from repro.sim.runner import SweepResult
+from repro.sim.metrics import MetricsSummary
+from repro.utils.stats import ConfidenceInterval
+
+
+def _ci(mean):
+    return ConfidenceInterval(mean=mean, half_width=0.5, confidence=0.95,
+                              n_samples=5)
+
+
+def _summary(mean, ub=None):
+    return MetricsSummary(
+        mean_psnr=_ci(mean),
+        per_user_psnr={0: _ci(mean)},
+        upper_bound_psnr=_ci(ub if ub is not None else mean),
+        fairness=_ci(0.99),
+        mean_collision_rate=_ci(0.18),
+    )
+
+
+class TestFormatFig3:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            format_fig3([])
+
+    def test_contains_all_cells(self):
+        rows = [Fig3Row(scheme="proposed",
+                        per_user_psnr={0: _ci(38.0), 1: _ci(32.0)},
+                        fairness=_ci(0.995))]
+        text = format_fig3(rows)
+        assert "38.00" in text and "32.00" in text
+        assert "0.995" in text
+
+
+class TestFormatSweep:
+    def _sweep(self):
+        result = SweepResult(parameter="eta", values=[0.3, 0.5])
+        result.summaries["heuristic1"] = [_summary(33.0), _summary(31.0)]
+        result.summaries["proposed-fast"] = [_summary(35.0, ub=36.0),
+                                             _summary(33.0, ub=34.2)]
+        return result
+
+    def test_rows_per_value(self):
+        text = format_sweep(self._sweep(), value_format="eta={}")
+        assert "eta=0.3" in text and "eta=0.5" in text
+        assert text.count("\n") == 2  # header + 2 rows
+
+    def test_upper_bound_uses_proposed(self):
+        text = format_sweep(self._sweep(), upper_bound=True)
+        assert "36.00" in text and "34.20" in text
+
+    def test_custom_value_format(self):
+        result = SweepResult(parameter="pair", values=[(0.2, 0.48)])
+        result.summaries["heuristic1"] = [_summary(31.0)]
+        text = format_sweep(result, value_format="{0[0]}/{0[1]}")
+        assert "0.2/0.48" in text
+
+
+class TestBoundReference:
+    def test_prefers_proposed(self):
+        assert bound_reference_scheme(
+            ["heuristic1", "proposed-fast"]) == "proposed-fast"
+        assert bound_reference_scheme(["proposed", "heuristic2"]) == "proposed"
+
+    def test_falls_back_to_first(self):
+        assert bound_reference_scheme(["heuristic2", "heuristic1"]) == "heuristic2"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bound_reference_scheme([])
+
+
+class TestFormatConvergence:
+    def test_samples_and_final_row(self):
+        trace = np.linspace([1.0, 2.0], [0.5, 1.0], num=100)
+        text = format_convergence(trace, [0, 1], samples=5)
+        lines = text.splitlines()
+        assert "lambda_0" in lines[0] and "lambda_1" in lines[0]
+        # Final iterate always included.
+        assert lines[-1].split()[0] == "99"
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            format_convergence(np.empty((0, 2)), [0, 1])

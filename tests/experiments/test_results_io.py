@@ -1,0 +1,116 @@
+"""Tests for experiment-result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4a
+from repro.experiments.results_io import (
+    fig3_from_dict,
+    fig3_to_dict,
+    load_results,
+    save_results,
+    sweep_from_dict,
+    sweep_to_dict,
+)
+from repro.sim.runner import SweepResult, sweep
+from repro.utils.errors import ConfigurationError
+
+
+class TestSweepRoundTrip:
+    def test_round_trip(self, single_config, tmp_path):
+        result = sweep(single_config, "n_channels", [4, 6],
+                       ["heuristic1", "heuristic2"], n_runs=2)
+        path = save_results(result, tmp_path / "sweep.json")
+        loaded = load_results(path)
+        assert isinstance(loaded, SweepResult)
+        assert loaded.parameter == "n_channels"
+        assert loaded.values == [4, 6]
+        assert loaded.series("heuristic1") == result.series("heuristic1")
+        original = result.summaries["heuristic2"][0]
+        restored = loaded.summaries["heuristic2"][0]
+        assert restored.mean_psnr == original.mean_psnr
+        assert restored.per_user_psnr == original.per_user_psnr
+
+    def test_tuple_values_preserved(self, single_config):
+        result = sweep(
+            single_config, "sensing_errors", [(0.2, 0.48), (0.3, 0.3)],
+            ["heuristic1"], n_runs=1,
+            configure=lambda cfg, pair: cfg.replace(
+                false_alarm=pair[0], miss_detection=pair[1]))
+        loaded = sweep_from_dict(sweep_to_dict(result))
+        assert loaded.values == [(0.2, 0.48), (0.3, 0.3)]
+
+    def test_metadata_embedded(self, single_config, tmp_path):
+        import repro
+        result = sweep(single_config, "n_channels", [4], ["heuristic1"], n_runs=1)
+        path = save_results(result, tmp_path / "sweep.json")
+        data = json.loads(path.read_text())
+        assert data["repro_version"] == repro.__version__
+        assert data["format_version"] == 1
+
+
+class TestFig3RoundTrip:
+    def test_round_trip(self, tmp_path):
+        rows = run_fig3(n_runs=1, n_gops=1, schemes=("heuristic1",))
+        path = save_results(rows, tmp_path / "fig3.json")
+        loaded = load_results(path)
+        assert loaded[0].scheme == "heuristic1"
+        assert loaded[0].per_user_psnr == rows[0].per_user_psnr
+
+    def test_kind_mismatch_detected(self):
+        rows = run_fig3(n_runs=1, n_gops=1, schemes=("heuristic1",))
+        payload = fig3_to_dict(rows)
+        payload["kind"] = "sweep"
+        with pytest.raises(ConfigurationError):
+            fig3_from_dict(payload)
+
+
+class TestTraceRoundTrip:
+    def test_round_trip(self, tmp_path):
+        result = run_fig4a()
+        path = save_results(result, tmp_path / "trace.json")
+        loaded = load_results(path)
+        assert loaded.converged == result.converged
+        assert loaded.iterations == result.iterations
+        assert loaded.stations == result.stations
+        assert np.allclose(loaded.trace, result.trace)
+
+
+class TestErrorHandling:
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_results({"not": "supported"}, tmp_path / "x.json")
+
+    def test_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "mystery"}))
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+    def test_future_format_version_rejected(self, single_config, tmp_path):
+        result = sweep(single_config, "n_channels", [4], ["heuristic1"], n_runs=1)
+        payload = sweep_to_dict(result)
+        payload["format_version"] = 999
+        with pytest.raises(ConfigurationError):
+            sweep_from_dict(payload)
+
+
+class TestBoundReferenceAfterReload:
+    def test_upper_bound_column_survives_key_sorting(self, interfering_config,
+                                                     tmp_path):
+        """Regression: JSON serialisation sorts scheme keys, which must not
+        change which scheme's eq. (23) bound the reports use."""
+        from repro.experiments.report import bound_reference_scheme, format_sweep
+        from repro.experiments.results_io import load_results, save_results
+        from repro.sim.runner import sweep
+
+        result = sweep(interfering_config, "n_channels", [4],
+                       ["proposed-fast", "heuristic1"], n_runs=1)
+        reloaded = load_results(save_results(result, tmp_path / "s.json"))
+        assert bound_reference_scheme(list(reloaded.summaries)) == "proposed-fast"
+        proposed_bound = reloaded.summaries["proposed-fast"][0].upper_bound_psnr
+        text = format_sweep(reloaded, upper_bound=True)
+        assert f"{proposed_bound.mean:6.2f}" in text

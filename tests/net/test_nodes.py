@@ -1,0 +1,63 @@
+"""Tests for the node layer."""
+
+import pytest
+
+from repro.net.nodes import CrUser, FemtoBaseStation, MacroBaseStation, distance
+from repro.utils.errors import ConfigurationError
+
+
+class TestDistance:
+    def test_euclidean(self):
+        assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_zero(self):
+        assert distance((1.0, 2.0), (1.0, 2.0)) == 0.0
+
+
+class TestFemtoBaseStation:
+    def test_coverage(self):
+        fbs = FemtoBaseStation(fbs_id=1, position=(0.0, 0.0), coverage_radius_m=30.0)
+        assert fbs.covers((29.0, 0.0))
+        assert fbs.covers((30.0, 0.0))
+        assert not fbs.covers((30.1, 0.0))
+
+    def test_overlap_rule(self):
+        # Disks of radius 30 overlap iff centres are closer than 60 m --
+        # the Fig. 5 geometry (45 m adjacent, 90 m non-adjacent).
+        a = FemtoBaseStation(1, (0.0, 0.0))
+        b = FemtoBaseStation(2, (45.0, 0.0))
+        c = FemtoBaseStation(3, (90.0, 0.0))
+        assert a.overlaps(b)
+        assert b.overlaps(c)
+        assert not a.overlaps(c)
+
+    def test_id_zero_reserved_for_mbs(self):
+        with pytest.raises(ConfigurationError):
+            FemtoBaseStation(0, (0.0, 0.0))
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigurationError):
+            FemtoBaseStation(1, (0.0, 0.0), coverage_radius_m=0.0)
+
+    def test_invalid_position(self):
+        with pytest.raises(ConfigurationError):
+            FemtoBaseStation(1, (float("nan"), 0.0))
+        with pytest.raises(ConfigurationError):
+            FemtoBaseStation(1, "not-a-point")
+
+
+class TestCrUser:
+    def test_unassociated_by_default(self):
+        user = CrUser(user_id=0, position=(1.0, 2.0), sequence_name="bus")
+        assert user.fbs_id is None
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrUser(user_id=-1, position=(0.0, 0.0), sequence_name="bus")
+
+
+class TestMacroBaseStation:
+    def test_defaults(self):
+        mbs = MacroBaseStation()
+        assert mbs.position == (0.0, 0.0)
+        assert mbs.tx_power_dbm > 0

@@ -1,0 +1,30 @@
+"""Tests for the packet-loss wrappers (eq. 8)."""
+
+import pytest
+
+from repro.phy.fading import RayleighFading
+from repro.phy.sinr import packet_loss_probability, success_probability
+
+
+def test_loss_is_cdf_at_threshold():
+    fading = RayleighFading(10.0)
+    assert packet_loss_probability(fading, 5.0) == pytest.approx(fading.cdf(5.0))
+
+
+def test_success_complements_loss():
+    fading = RayleighFading(7.0)
+    loss = packet_loss_probability(fading, 3.0)
+    assert success_probability(fading, 3.0) == pytest.approx(1.0 - loss)
+
+
+def test_zero_threshold_never_loses():
+    assert packet_loss_probability(RayleighFading(1.0), 0.0) == 0.0
+
+
+def test_invalid_cdf_detected():
+    class BrokenFading:
+        def cdf(self, threshold):
+            return 1.5
+
+    with pytest.raises(ValueError):
+        packet_loss_probability(BrokenFading(), 1.0)

@@ -1,0 +1,109 @@
+"""Tests for the Markov belief tracker (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.belief import ChannelBeliefTracker
+from repro.sensing.detector import SensingResult, SpectrumSensor
+from repro.sensing.fusion import fuse_posterior
+from repro.spectrum.markov import BUSY, IDLE, OccupancyChain
+from repro.utils.errors import ConfigurationError
+
+
+def _result(observation, channel=0, eps=0.3, delta=0.3):
+    return SensingResult(channel=channel, observation=observation,
+                         false_alarm=eps, miss_detection=delta)
+
+
+class TestPriors:
+    def test_starts_stationary(self):
+        tracker = ChannelBeliefTracker(4, 0.4, 0.3)
+        assert np.allclose(tracker.busy_priors, 0.4 / 0.7)
+
+    def test_stationary_is_fixed_point_of_predict(self):
+        tracker = ChannelBeliefTracker(2, 0.4, 0.3)
+        before = tracker.busy_priors
+        tracker.predict()
+        assert np.allclose(tracker.busy_priors, before)
+
+    def test_without_updates_reduces_to_paper_fusion(self):
+        # With no evidence folded in, fuse() equals eq. (2) with eta.
+        tracker = ChannelBeliefTracker(1, 0.4, 0.3)
+        results = [_result(IDLE), _result(BUSY)]
+        assert tracker.fuse(0, results) == pytest.approx(
+            fuse_posterior(0.4 / 0.7, results))
+
+    def test_per_channel_parameters(self):
+        tracker = ChannelBeliefTracker(2, [0.2, 0.6], [0.4, 0.2])
+        assert tracker.prior(0) == pytest.approx(0.2 / 0.6)
+        assert tracker.prior(1) == pytest.approx(0.6 / 0.8)
+
+
+class TestDynamics:
+    def test_posterior_propagates(self):
+        tracker = ChannelBeliefTracker(1, 0.4, 0.3)
+        # Strong idle evidence drives the busy belief down...
+        tracker.fuse(0, [_result(IDLE, eps=0.05, delta=0.05)] * 3)
+        low_busy = tracker.prior(0)
+        assert low_busy < 0.1
+        # ...and predict() pulls it back toward the stationary point.
+        tracker.predict()
+        assert low_busy < tracker.prior(0) < 0.4 / 0.7
+
+    def test_prediction_formula(self):
+        tracker = ChannelBeliefTracker(1, 0.25, 0.6)
+        tracker.fuse(0, [_result(BUSY, eps=0.01, delta=0.01)])
+        busy = tracker.prior(0)
+        tracker.predict()
+        expected = busy * (1 - 0.6) + (1 - busy) * 0.25
+        assert tracker.prior(0) == pytest.approx(expected)
+
+    def test_reset(self):
+        tracker = ChannelBeliefTracker(1, 0.4, 0.3)
+        tracker.fuse(0, [_result(BUSY)])
+        tracker.reset()
+        assert tracker.prior(0) == pytest.approx(0.4 / 0.7)
+
+    def test_tracking_beats_stationary_prior_monte_carlo(self):
+        """With sparse sensing, tracked posteriors are better calibrated
+        (lower Brier score) than restarting from eta every slot."""
+        rng = np.random.default_rng(0)
+        chain = OccupancyChain(0.2, 0.15, rng=1)
+        sensor = SpectrumSensor(0.3, 0.3, rng=rng)
+        tracker = ChannelBeliefTracker(1, 0.2, 0.15)
+        eta = chain.utilization
+        brier_tracked = brier_stationary = 0.0
+        n_slots = 4000
+        for _ in range(n_slots):
+            state = chain.step()
+            result = sensor.sense(0, state)
+            tracker.predict()
+            tracked = tracker.fuse(0, [result])
+            stationary = fuse_posterior(eta, [result])
+            truth_idle = 1.0 - state
+            brier_tracked += (tracked - truth_idle) ** 2
+            brier_stationary += (stationary - truth_idle) ** 2
+        assert brier_tracked < brier_stationary
+
+
+class TestValidation:
+    def test_invalid_channel_count(self):
+        with pytest.raises(ConfigurationError):
+            ChannelBeliefTracker(0, 0.4, 0.3)
+
+    def test_frozen_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelBeliefTracker(2, 0.0, 0.0)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelBeliefTracker(3, [0.4, 0.3], 0.3)
+
+    def test_unknown_channel_rejected(self):
+        tracker = ChannelBeliefTracker(2, 0.4, 0.3)
+        with pytest.raises(ConfigurationError):
+            tracker.fuse(5, [])
+
+    def test_out_of_range_probability(self):
+        with pytest.raises(ConfigurationError):
+            ChannelBeliefTracker(2, [0.4, 1.4], 0.3)

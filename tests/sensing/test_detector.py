@@ -1,0 +1,86 @@
+"""Tests for the per-sensor detection model (Section III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.sensing.detector import SensingResult, SpectrumSensor
+from repro.spectrum.markov import BUSY, IDLE
+from repro.utils.errors import ConfigurationError
+
+
+class TestSpectrumSensor:
+    def test_perfect_sensor(self):
+        sensor = SpectrumSensor(0.0, 0.0, rng=0)
+        assert sensor.sense(0, IDLE).observation == IDLE
+        assert sensor.sense(0, BUSY).observation == BUSY
+
+    def test_always_wrong_sensor(self):
+        sensor = SpectrumSensor(1.0, 1.0, rng=0)
+        assert sensor.sense(0, IDLE).observation == BUSY
+        assert sensor.sense(0, BUSY).observation == IDLE
+
+    def test_empirical_false_alarm_rate(self):
+        sensor = SpectrumSensor(0.3, 0.2, rng=1)
+        false_alarms = sum(sensor.sense(0, IDLE).observation == BUSY
+                           for _ in range(20000))
+        assert false_alarms / 20000 == pytest.approx(0.3, abs=0.01)
+
+    def test_empirical_miss_rate(self):
+        sensor = SpectrumSensor(0.3, 0.2, rng=2)
+        misses = sum(sensor.sense(0, BUSY).observation == IDLE
+                     for _ in range(20000))
+        assert misses / 20000 == pytest.approx(0.2, abs=0.01)
+
+    def test_result_carries_error_profile(self):
+        sensor = SpectrumSensor(0.25, 0.15, sensor_id=7, rng=0)
+        result = sensor.sense(3, IDLE)
+        assert result.channel == 3
+        assert result.sensor_id == 7
+        assert result.false_alarm == 0.25
+        assert result.miss_detection == 0.15
+        assert sensor.error_profile() == (0.25, 0.15)
+
+    def test_invalid_true_state(self):
+        with pytest.raises(ConfigurationError):
+            SpectrumSensor(0.3, 0.3, rng=0).sense(0, 2)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            SpectrumSensor(1.5, 0.3)
+        with pytest.raises(ConfigurationError):
+            SpectrumSensor(0.3, -0.1)
+
+
+class TestSensingResult:
+    def test_likelihood_ratio_busy_observation(self):
+        # Pr{Theta=1|H1}/Pr{Theta=1|H0} = (1-delta)/epsilon
+        result = SensingResult(channel=0, observation=BUSY,
+                               false_alarm=0.3, miss_detection=0.2)
+        assert result.likelihood_ratio == pytest.approx(0.8 / 0.3)
+
+    def test_likelihood_ratio_idle_observation(self):
+        # Pr{Theta=0|H1}/Pr{Theta=0|H0} = delta/(1-epsilon)
+        result = SensingResult(channel=0, observation=IDLE,
+                               false_alarm=0.3, miss_detection=0.2)
+        assert result.likelihood_ratio == pytest.approx(0.2 / 0.7)
+
+    def test_uninformative_sensor_has_unit_ratio(self):
+        # epsilon + (1 - delta) = 1 means the observation carries no
+        # information; both likelihood ratios equal 1.
+        for obs in (IDLE, BUSY):
+            result = SensingResult(channel=0, observation=obs,
+                                   false_alarm=0.4, miss_detection=0.6)
+            assert result.likelihood_ratio == pytest.approx(1.0)
+
+    def test_perfect_sensor_extreme_ratios(self):
+        busy = SensingResult(channel=0, observation=BUSY,
+                             false_alarm=0.0, miss_detection=0.0)
+        assert busy.likelihood_ratio == np.inf
+        idle = SensingResult(channel=0, observation=IDLE,
+                             false_alarm=0.0, miss_detection=0.0)
+        assert idle.likelihood_ratio == 0.0
+
+    def test_invalid_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensingResult(channel=0, observation=5, false_alarm=0.3,
+                          miss_detection=0.3)

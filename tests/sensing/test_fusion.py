@@ -1,0 +1,125 @@
+"""Tests for Bayesian fusion (eqs. (2)-(4))."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sensing.detector import SensingResult, SpectrumSensor
+from repro.sensing.fusion import fuse_iterative, fuse_posterior
+from repro.spectrum.markov import BUSY, IDLE
+from repro.utils.errors import ConfigurationError
+
+
+def _result(observation, eps=0.3, delta=0.3, channel=0):
+    return SensingResult(channel=channel, observation=observation,
+                         false_alarm=eps, miss_detection=delta)
+
+
+class TestClosedForm:
+    def test_no_observations_gives_prior(self):
+        assert fuse_posterior(0.4, []) == pytest.approx(0.6)
+
+    def test_single_idle_observation_eq2(self):
+        # eq. (2) with L=1, Theta=0: [1 + eta/(1-eta) * delta/(1-eps)]^-1
+        eta, eps, delta = 0.4, 0.3, 0.2
+        expected = 1.0 / (1.0 + eta / (1 - eta) * delta / (1 - eps))
+        assert fuse_posterior(eta, [_result(IDLE, eps, delta)]) == pytest.approx(expected)
+
+    def test_single_busy_observation_eq2(self):
+        eta, eps, delta = 0.4, 0.3, 0.2
+        expected = 1.0 / (1.0 + eta / (1 - eta) * (1 - delta) / eps)
+        assert fuse_posterior(eta, [_result(BUSY, eps, delta)]) == pytest.approx(expected)
+
+    def test_idle_observations_raise_posterior(self):
+        eta = 0.5
+        posteriors = [fuse_posterior(eta, [_result(IDLE)] * k) for k in range(5)]
+        assert all(b > a for a, b in zip(posteriors, posteriors[1:]))
+
+    def test_busy_observations_lower_posterior(self):
+        eta = 0.5
+        posteriors = [fuse_posterior(eta, [_result(BUSY)] * k) for k in range(5)]
+        assert all(b < a for a, b in zip(posteriors, posteriors[1:]))
+
+    def test_extreme_priors(self):
+        assert fuse_posterior(0.0, [_result(BUSY)]) == 1.0
+        assert fuse_posterior(1.0, [_result(IDLE)]) == 0.0
+
+    def test_perfect_sensor_is_decisive(self):
+        perfect_idle = _result(IDLE, eps=0.0, delta=0.0)
+        perfect_busy = _result(BUSY, eps=0.0, delta=0.0)
+        assert fuse_posterior(0.5, [perfect_idle]) == 1.0
+        assert fuse_posterior(0.5, [perfect_busy]) == 0.0
+
+    def test_mixed_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fuse_posterior(0.5, [_result(IDLE, channel=0), _result(IDLE, channel=1)])
+
+    def test_many_observations_numerically_stable(self):
+        posterior = fuse_posterior(0.5, [_result(IDLE)] * 5000)
+        assert posterior == pytest.approx(1.0)
+        posterior = fuse_posterior(0.5, [_result(BUSY)] * 5000)
+        assert posterior == pytest.approx(0.0)
+
+
+class TestIterativeEquivalence:
+    """eqs. (3)-(4) must agree exactly with the batch form (2)."""
+
+    def test_all_length3_observation_patterns(self):
+        for pattern in itertools.product((IDLE, BUSY), repeat=3):
+            results = [_result(obs) for obs in pattern]
+            assert fuse_iterative(0.4, results) == pytest.approx(
+                fuse_posterior(0.4, results), abs=1e-12)
+
+    @given(
+        eta=st.floats(0.05, 0.95),
+        pattern=st.lists(st.sampled_from([IDLE, BUSY]), min_size=0, max_size=8),
+        eps=st.floats(0.05, 0.95),
+        delta=st.floats(0.05, 0.95),
+    )
+    @settings(max_examples=100)
+    def test_property_equivalence(self, eta, pattern, eps, delta):
+        results = [_result(obs, eps, delta) for obs in pattern]
+        assert fuse_iterative(eta, results) == pytest.approx(
+            fuse_posterior(eta, results), abs=1e-10)
+
+    @given(
+        eta=st.floats(0.1, 0.9),
+        pattern=st.lists(st.sampled_from([IDLE, BUSY]), min_size=2, max_size=6),
+    )
+    @settings(max_examples=50)
+    def test_property_order_invariance(self, eta, pattern):
+        # Bayes fusion of conditionally independent results cannot depend
+        # on arrival order.
+        results = [_result(obs) for obs in pattern]
+        reversed_results = list(reversed(results))
+        assert fuse_posterior(eta, results) == pytest.approx(
+            fuse_posterior(eta, reversed_results), abs=1e-12)
+
+    def test_empty_iterative_gives_prior(self):
+        assert fuse_iterative(0.3, []) == pytest.approx(0.7)
+
+
+class TestCalibration:
+    def test_posterior_is_calibrated_monte_carlo(self):
+        """Among slots with fused posterior ~p, the channel is idle ~p often.
+
+        This validates eq. (2) end to end against the generative model:
+        Markov-stationary occupancy + noisy sensors.
+        """
+        rng = np.random.default_rng(0)
+        eta = 0.4
+        sensors = [SpectrumSensor(0.3, 0.25, rng=rng) for _ in range(3)]
+        buckets = {}
+        for _ in range(30000):
+            truly_busy = rng.random() < eta
+            results = [s.sense(0, BUSY if truly_busy else IDLE) for s in sensors]
+            posterior = fuse_posterior(eta, results)
+            key = round(posterior, 3)
+            hits, total = buckets.get(key, (0, 0))
+            buckets[key] = (hits + (not truly_busy), total + 1)
+        for posterior, (hits, total) in buckets.items():
+            if total >= 1000:
+                assert hits / total == pytest.approx(posterior, abs=0.04)

@@ -1,0 +1,57 @@
+"""Tests for ScenarioConfig."""
+
+import pytest
+
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.utils.errors import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self, single_config):
+        assert single_config.n_channels == 8
+        assert single_config.p01 == 0.4
+        assert single_config.p10 == 0.3
+        assert single_config.gamma == 0.2
+        assert single_config.false_alarm == 0.3
+        assert single_config.miss_detection == 0.3
+        assert single_config.deadline_slots == 10
+
+    def test_utilization_property(self, single_config):
+        assert single_config.utilization == pytest.approx(0.4 / 0.7)
+
+    def test_n_slots(self, single_config):
+        assert single_config.n_slots == (
+            single_config.n_gops * single_config.deadline_slots)
+
+
+class TestCopies:
+    def test_with_scheme(self, single_config):
+        copied = single_config.with_scheme("heuristic1")
+        assert copied.scheme == "heuristic1"
+        assert single_config.scheme == "proposed"
+        assert copied.topology is single_config.topology
+
+    def test_with_seed(self, single_config):
+        assert single_config.with_seed(99).seed == 99
+
+    def test_replace(self, single_config):
+        assert single_config.replace(n_channels=12).n_channels == 12
+
+
+class TestValidation:
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            single_fbs_scenario(scheme="nope")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_channels": 0},
+        {"p01": 1.5},
+        {"gamma": -0.1},
+        {"deadline_slots": 0},
+        {"n_gops": 0},
+        {"common_bandwidth_mbps": 0.0},
+        {"false_alarm": 2.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            single_fbs_scenario(**kwargs)

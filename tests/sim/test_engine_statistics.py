@@ -1,0 +1,98 @@
+"""Statistical validation of the engine's stochastic layers.
+
+These tests run longer horizons and verify that what the engine *realises*
+matches what the models *promise*: delivery rates match the link success
+probabilities, posteriors drive access as eq. (7) dictates, and the GOP
+accounting conserves quality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.sim.engine import SimulationEngine
+
+
+@pytest.fixture(scope="module")
+def long_run_records():
+    """One long heuristic1 run with per-slot records (module-scoped)."""
+    config = single_fbs_scenario(n_gops=60, seed=42, scheme="heuristic1")
+    engine = SimulationEngine(config, record_slots=True)
+    for _ in range(config.n_slots):
+        engine.step()
+    return config, engine
+
+
+class TestDeliveryStatistics:
+    def test_fbs_delivery_rate_matches_success_probability(self, long_run_records):
+        config, engine = long_run_records
+        # Pick the user that heuristic1 keeps on the FBS most often.
+        counts = {}
+        successes = {}
+        for record in engine.records:
+            for user in record.problem.users:
+                if record.allocation.uses_mbs(user.user_id):
+                    continue
+                if record.allocation.rho_fbs.get(user.user_id, 0.0) <= 0.0:
+                    continue
+                if record.problem.expected_channels[user.fbs_id] <= 0.0:
+                    continue
+                counts[user.user_id] = counts.get(user.user_id, 0) + 1
+                delivered = record.increments[user.user_id] > 0.0
+                successes[user.user_id] = (
+                    successes.get(user.user_id, 0) + int(delivered))
+        user_id, n = max(counts.items(), key=lambda kv: kv[1])
+        assert n > 150
+        empirical = successes[user_id] / n
+        expected = config.topology.fbs_success[user_id]
+        assert empirical == pytest.approx(expected, abs=0.06)
+
+    def test_increment_magnitude_when_delivered(self, long_run_records):
+        _config, engine = long_run_records
+        for record in engine.records[:100]:
+            for user in record.problem.users:
+                increment = record.increments[user.user_id]
+                if increment <= 0.0 or record.allocation.uses_mbs(user.user_id):
+                    continue
+                rho = record.allocation.rho_fbs.get(user.user_id, 0.0)
+                g_i = record.problem.expected_channels[user.fbs_id]
+                expected = rho * g_i * user.r_fbs
+                # Equal unless clamped by the GOP ceiling.
+                assert increment <= expected + 1e-9
+
+
+class TestAccessStatistics:
+    def test_access_rate_tracks_access_probability(self, long_run_records):
+        _config, engine = long_run_records
+        # Bucket slots by quantised P_D and compare empirical access rate.
+        buckets = {}
+        for record in engine.records:
+            for m, p_d in enumerate(record.access.access_probabilities):
+                key = round(float(p_d), 1)
+                hits, total = buckets.get(key, (0, 0))
+                accessed = int(record.access.decisions[m] == 0)
+                buckets[key] = (hits + accessed, total + 1)
+        for probability, (hits, total) in buckets.items():
+            if total >= 300:
+                assert hits / total == pytest.approx(probability, abs=0.08)
+
+    def test_g_is_sum_of_accessed_posteriors(self, long_run_records):
+        _config, engine = long_run_records
+        for record in engine.records[:50]:
+            available = record.access.available_channels
+            expected = float(record.access.posteriors[available].sum())
+            assert record.access.expected_available == pytest.approx(expected)
+
+
+class TestGopConservation:
+    def test_recorded_gop_quality_equals_sum_of_increments(self):
+        config = single_fbs_scenario(n_gops=2, seed=11, scheme="heuristic1")
+        engine = SimulationEngine(config, record_slots=True)
+        for _ in range(config.deadline_slots):
+            engine.step()
+        for user in config.topology.users:
+            clock = engine.clocks[user.user_id]
+            delivered = sum(record.increments[user.user_id]
+                            for record in engine.records)
+            assert clock.completed_gop_psnrs[0] == pytest.approx(
+                clock.sequence.base_psnr_db + delivered)

@@ -1,0 +1,77 @@
+"""Tests for run metrics and summaries."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import compute_run_metrics, summarize_runs
+from repro.video.gop import GopClock
+from repro.video.rd_model import MgsRateDistortion
+from repro.video.sequences import VideoSequence
+
+
+def make_clocks(gop_psnrs):
+    """Clocks with prescribed completed-GOP PSNRs."""
+    clocks = {}
+    for user_id, values in gop_psnrs.items():
+        seq = VideoSequence("t", (352, 288), 30.0, 16,
+                            MgsRateDistortion(26.0, 30.0, max_rate_mbps=1.0))
+        clock = GopClock(seq, 1)
+        for value in values:
+            clock.add_quality(value - 26.0)
+            clock.tick()
+        clocks[user_id] = clock
+    return clocks
+
+
+class TestComputeRunMetrics:
+    def test_per_user_means(self):
+        clocks = make_clocks({0: [30.0, 34.0], 1: [28.0, 28.0]})
+        metrics = compute_run_metrics(clocks, np.zeros(4), [])
+        assert metrics.per_user_psnr[0] == pytest.approx(32.0)
+        assert metrics.per_user_psnr[1] == pytest.approx(28.0)
+        assert metrics.mean_psnr == pytest.approx(30.0)
+        assert metrics.n_users == 2
+
+    def test_upper_bound_without_gaps_equals_mean(self):
+        clocks = make_clocks({0: [30.0]})
+        metrics = compute_run_metrics(clocks, np.zeros(2), [])
+        assert metrics.upper_bound_psnr == metrics.mean_psnr
+
+    def test_upper_bound_scaling(self):
+        clocks = make_clocks({0: [30.0], 1: [32.0]})
+        gap = 0.5
+        metrics = compute_run_metrics(clocks, np.zeros(2), [gap])
+        expected = 31.0 * math.exp(gap / 2)
+        assert metrics.upper_bound_psnr == pytest.approx(expected)
+        assert metrics.upper_bound_psnr > metrics.mean_psnr
+
+    def test_fairness(self):
+        clocks = make_clocks({0: [30.0], 1: [30.0]})
+        metrics = compute_run_metrics(clocks, np.zeros(2), [])
+        assert metrics.fairness == pytest.approx(1.0)
+
+
+class TestSummarizeRuns:
+    def test_summary_structure(self):
+        runs = [
+            compute_run_metrics(make_clocks({0: [30.0 + r], 1: [28.0]}),
+                                np.full(2, 0.1), [])
+            for r in range(5)
+        ]
+        summary = summarize_runs(runs)
+        assert summary.mean_psnr.n_samples == 5
+        assert set(summary.per_user_psnr) == {0, 1}
+        assert summary.per_user_psnr[0].mean == pytest.approx(32.0)
+        assert summary.mean_collision_rate.mean == pytest.approx(0.1)
+
+    def test_empty_runs_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_runs([])
+
+    def test_mismatched_users_rejected(self):
+        run_a = compute_run_metrics(make_clocks({0: [30.0]}), np.zeros(1), [])
+        run_b = compute_run_metrics(make_clocks({1: [30.0]}), np.zeros(1), [])
+        with pytest.raises(ValueError):
+            summarize_runs([run_a, run_b])

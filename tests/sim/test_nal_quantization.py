@@ -1,0 +1,80 @@
+"""Tests for NAL-unit quantised quality accounting."""
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.utils.errors import ConfigurationError
+from repro.video.gop import GopClock
+from repro.video.rd_model import MgsRateDistortion
+from repro.video.sequences import VideoSequence
+
+
+def make_clock(quantum=0.5, deadline=2, alpha=30.0):
+    seq = VideoSequence("t", (352, 288), 30.0, 16,
+                        MgsRateDistortion(alpha, 30.0, max_rate_mbps=1.0))
+    return GopClock(seq, deadline, quantum_db=quantum)
+
+
+class TestGopClockQuantum:
+    def test_records_whole_quanta_only(self):
+        clock = make_clock(quantum=0.5, deadline=1)
+        clock.add_quality(1.74)
+        clock.tick()
+        assert clock.completed_gop_psnrs == [pytest.approx(31.5)]
+
+    def test_exact_multiple_unchanged(self):
+        clock = make_clock(quantum=0.5, deadline=1)
+        clock.add_quality(2.0)
+        clock.tick()
+        assert clock.completed_gop_psnrs == [pytest.approx(32.0)]
+
+    def test_zero_quantum_is_fluid(self):
+        clock = make_clock(quantum=0.0, deadline=1)
+        clock.add_quality(1.74)
+        clock.tick()
+        assert clock.completed_gop_psnrs == [pytest.approx(31.74)]
+
+    def test_accumulator_not_quantised_mid_window(self):
+        clock = make_clock(quantum=0.5, deadline=3)
+        clock.add_quality(0.3)
+        assert clock.psnr_db == pytest.approx(30.3)
+
+    def test_negative_quantum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_clock(quantum=-0.1)
+
+
+class TestEngineIntegration:
+    def test_quantised_never_beats_fluid(self, single_config):
+        """Quantisation only discards partially received units."""
+        fluid = SimulationEngine(single_config).run()
+        quantised = SimulationEngine(
+            single_config.replace(nal_quantized=True)).run()
+        for user_id in fluid.per_user_psnr:
+            assert (quantised.per_user_psnr[user_id]
+                    <= fluid.per_user_psnr[user_id] + 1e-9)
+
+    def test_coarser_units_cost_more(self, single_config):
+        fine = SimulationEngine(
+            single_config.replace(nal_quantized=True, nal_packet_bits=2000)).run()
+        coarse = SimulationEngine(
+            single_config.replace(nal_quantized=True, nal_packet_bits=64000)).run()
+        assert coarse.mean_psnr <= fine.mean_psnr + 1e-9
+
+    def test_quantum_matches_packet_arithmetic(self, single_config):
+        """The engine's quantum equals the per-packet gain of the
+        packetiser for the same payload size."""
+        from repro.video.packets import packetize_gop
+        from repro.video.sequences import get_sequence
+        config = single_config.replace(nal_quantized=True)
+        engine = SimulationEngine(config)
+        user = config.topology.users[0]
+        sequence = get_sequence(user.sequence_name)
+        packets = packetize_gop(sequence, enhancement_rate_mbps=0.3,
+                                packet_size_bits=config.nal_packet_bits)
+        assert engine.clocks[user.user_id].quantum_db == pytest.approx(
+            packets[0].psnr_gain_db)
+
+    def test_invalid_packet_bits(self, single_config):
+        with pytest.raises(ConfigurationError):
+            single_config.replace(nal_packet_bits=0)

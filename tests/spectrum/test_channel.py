@@ -1,0 +1,87 @@
+"""Tests for the Spectrum / LicensedChannel layer."""
+
+import numpy as np
+import pytest
+
+from repro.spectrum.channel import ChannelState, LicensedChannel, Spectrum
+from repro.utils.errors import ConfigurationError
+
+
+class TestLicensedChannel:
+    def test_reports_parameters(self):
+        channel = LicensedChannel(2, 0.4, 0.3, bandwidth_mbps=0.3,
+                                  max_collision_probability=0.2, rng=0)
+        assert channel.index == 2
+        assert channel.utilization == pytest.approx(0.4 / 0.7)
+        assert channel.state in (0, 1)
+        assert "LicensedChannel" in repr(channel)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LicensedChannel(-1, 0.4, 0.3, 0.3, 0.2)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LicensedChannel(0, 0.4, 0.3, 0.0, 0.2)
+
+
+class TestSpectrum:
+    def test_scalar_parameters_broadcast(self):
+        spectrum = Spectrum(4, 0.4, 0.3, rng=0)
+        assert len(spectrum) == 4
+        assert np.allclose(spectrum.utilizations, 0.4 / 0.7)
+        assert np.allclose(spectrum.collision_caps, 0.2)
+
+    def test_per_channel_parameters(self):
+        spectrum = Spectrum(2, [0.2, 0.6], [0.4, 0.2], rng=0)
+        assert spectrum.utilizations[0] == pytest.approx(0.2 / 0.6)
+        assert spectrum.utilizations[1] == pytest.approx(0.6 / 0.8)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(3, [0.4, 0.3], 0.3)
+
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(0, 0.4, 0.3)
+
+    def test_advance_moves_all_channels(self):
+        spectrum = Spectrum(8, 0.4, 0.3, rng=1)
+        state = spectrum.advance()
+        assert isinstance(state, ChannelState)
+        assert state.slot == 1
+        assert state.occupancy.shape == (8,)
+        assert spectrum.slot == 1
+
+    def test_current_state_does_not_advance(self):
+        spectrum = Spectrum(4, 0.4, 0.3, rng=1)
+        before = spectrum.current_state()
+        after = spectrum.current_state()
+        assert before.slot == after.slot == 0
+        assert np.array_equal(before.occupancy, after.occupancy)
+
+    def test_channels_evolve_independently(self):
+        # Same parameters but independent child streams: long trajectories
+        # of two channels should not be identical.
+        spectrum = Spectrum(2, 0.4, 0.3, rng=2)
+        history = np.array([spectrum.advance().occupancy for _ in range(200)])
+        assert not np.array_equal(history[:, 0], history[:, 1])
+
+    def test_reproducible_with_seed(self):
+        hist_a = [Spectrum(3, 0.4, 0.3, rng=9).advance().occupancy for _ in range(1)]
+        hist_b = [Spectrum(3, 0.4, 0.3, rng=9).advance().occupancy for _ in range(1)]
+        assert np.array_equal(hist_a[0], hist_b[0])
+
+    def test_empirical_utilization(self):
+        spectrum = Spectrum(4, 0.4, 0.3, rng=3)
+        occupancy = np.array([spectrum.advance().occupancy for _ in range(20000)])
+        assert np.allclose(occupancy.mean(axis=0), 0.4 / 0.7, atol=0.03)
+
+
+class TestChannelState:
+    def test_idle_busy_partition(self):
+        state = ChannelState(slot=1, occupancy=np.array([0, 1, 0, 1], dtype=np.int8))
+        assert state.idle_channels.tolist() == [0, 2]
+        assert state.busy_channels.tolist() == [1, 3]
+        assert state.is_idle(0)
+        assert not state.is_idle(1)

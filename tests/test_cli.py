@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_all_figure_commands_exist(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args([name] if name == "fig4a"
+                                     else [name, "--runs", "2"])
+            assert args.command == name
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_simulate_options(self):
+        args = build_parser().parse_args(
+            ["simulate", "--scenario", "interfering", "--scheme", "heuristic2"])
+        assert args.scenario == "interfering"
+        assert args.scheme == "heuristic2"
+
+    def test_invalid_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--scheme", "magic"])
+
+
+class TestExecution:
+    def test_fig3_prints_table(self, capsys):
+        assert main(["fig3", "--runs", "1", "--gops", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "proposed-fast" in out
+        assert "user 0" in out
+
+    def test_fig4a_prints_trace(self, capsys):
+        assert main(["fig4a"]) == 0
+        out = capsys.readouterr().out
+        assert "lambda_0" in out
+        assert "converged=True" in out
+
+    def test_fig4c_prints_sweep(self, capsys):
+        assert main(["fig4c", "--runs", "1", "--gops", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "eta=0.3" in out
+        assert "heuristic1" in out
+
+    def test_simulate_single(self, capsys):
+        assert main(["simulate", "--runs", "2", "--gops", "1",
+                     "--scheme", "heuristic1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean PSNR" in out
+        assert "collision rate" in out
+
+    def test_simulate_interfering_proposed_shows_bound(self, capsys):
+        assert main(["simulate", "--runs", "1", "--gops", "1",
+                     "--scenario", "interfering"]) == 0
+        out = capsys.readouterr().out
+        assert "eq. (23) bound" in out

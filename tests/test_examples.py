@@ -1,0 +1,49 @@
+"""Smoke checks on the example scripts.
+
+Full example runs take seconds-to-minutes, so the unit suite only
+verifies that every example compiles, has a ``main`` entry point, a
+usage docstring, and imports cleanly; the repository's verification run
+executes them for real.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert {"quickstart.py", "scheme_comparison.py",
+            "interfering_femtocells.py", "sensing_tradeoff.py",
+            "ablation_study.py", "figure_pipeline.py"} <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_structure(path):
+    tree = ast.parse(path.read_text())
+    # Usage docstring.
+    docstring = ast.get_docstring(tree)
+    assert docstring and "Run with" in docstring
+    # A main() function and the __main__ guard.
+    function_names = {node.name for node in ast.walk(tree)
+                      if isinstance(node, ast.FunctionDef)}
+    assert "main" in function_names
+    assert "__main__" in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_cleanly(path):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    assert callable(module.main)

@@ -1,0 +1,114 @@
+"""Tests for repro.utils.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import (
+    ConfidenceInterval,
+    RunningMean,
+    jain_fairness_index,
+    mean_confidence_interval,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_zero_width(self):
+        ci = mean_confidence_interval([5.0])
+        assert ci.mean == 5.0
+        assert ci.half_width == 0.0
+        assert ci.n_samples == 1
+
+    def test_constant_samples_zero_width(self):
+        ci = mean_confidence_interval([2.0] * 10)
+        assert ci.half_width == pytest.approx(0.0)
+
+    def test_known_t_interval(self):
+        # n=4, std=1: half-width = t_{0.975,3} * 1/2 = 3.182 * 0.5
+        samples = [0.0, 0.0, 2.0, 2.0]  # mean 1, sd = 1.1547
+        ci = mean_confidence_interval(samples)
+        sem = np.std(samples, ddof=1) / 2.0
+        assert ci.mean == pytest.approx(1.0)
+        assert ci.half_width == pytest.approx(3.18245 * sem, rel=1e-4)
+
+    def test_coverage_monte_carlo(self):
+        # ~95% of intervals from a normal sample should contain the mean.
+        rng = np.random.default_rng(0)
+        hits = sum(
+            mean_confidence_interval(rng.normal(3.0, 1.0, size=10)).contains(3.0)
+            for _ in range(400)
+        )
+        assert 0.90 <= hits / 400 <= 0.99
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, float("nan")])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_interval_endpoints(self):
+        ci = ConfidenceInterval(mean=10.0, half_width=2.0, confidence=0.95, n_samples=5)
+        assert ci.low == 8.0
+        assert ci.high == 12.0
+        assert ci.contains(9.0)
+        assert not ci.contains(12.5)
+        assert "95% CI" in str(ci)
+
+
+class TestRunningMean:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=100)
+        running = RunningMean()
+        running.update_many(data)
+        assert running.count == 100
+        assert running.mean == pytest.approx(float(np.mean(data)))
+        assert running.variance == pytest.approx(float(np.var(data, ddof=1)))
+        assert running.std == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_empty_defaults(self):
+        running = RunningMean()
+        assert running.count == 0
+        assert running.mean == 0.0
+        assert running.variance == 0.0
+
+    def test_rejects_nan(self):
+        running = RunningMean()
+        with pytest.raises(ValueError):
+            running.update(float("inf"))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_property_matches_batch(self, values):
+        running = RunningMean()
+        running.update_many(values)
+        assert math.isclose(running.mean, float(np.mean(values)),
+                            rel_tol=1e-9, abs_tol=1e-6)
+
+
+class TestJainFairness:
+    def test_equal_allocation_is_one(self):
+        assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_winner_is_one_over_n(self):
+        assert jain_fairness_index([5.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=20))
+    def test_property_bounds(self, values):
+        index = jain_fairness_index(values)
+        assert 1.0 / len(values) - 1e-12 <= index <= 1.0 + 1e-12

@@ -1,0 +1,89 @@
+"""Tests for GOP deadline bookkeeping (Section III-E)."""
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.video.gop import GopClock
+from repro.video.rd_model import MgsRateDistortion
+from repro.video.sequences import VideoSequence
+
+
+def make_clock(deadline=10, alpha=30.0, beta=25.0, max_rate=0.4):
+    seq = VideoSequence("test", (352, 288), 30.0, 16,
+                        MgsRateDistortion(alpha, beta, max_rate_mbps=max_rate))
+    return GopClock(seq, deadline)
+
+
+class TestAccumulation:
+    def test_starts_at_base_layer(self):
+        clock = make_clock(alpha=29.0)
+        assert clock.psnr_db == 29.0
+        assert clock.slot_in_window == 0
+        assert clock.slots_remaining == 10
+
+    def test_add_quality(self):
+        clock = make_clock()
+        returned = clock.add_quality(2.5)
+        assert returned == 2.5
+        assert clock.psnr_db == pytest.approx(32.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_clock().add_quality(-1.0)
+
+    def test_saturation_clamps_and_reports_effective(self):
+        clock = make_clock(alpha=30.0, beta=25.0, max_rate=0.4)  # ceiling 40
+        clock.add_quality(9.0)
+        assert clock.headroom_db == pytest.approx(1.0)
+        effective = clock.add_quality(3.0)
+        assert effective == pytest.approx(1.0)
+        assert clock.psnr_db == pytest.approx(40.0)
+        assert clock.headroom_db == 0.0
+
+    def test_unbounded_sequence_never_saturates(self):
+        seq = VideoSequence("x", (352, 288), 30.0, 16, MgsRateDistortion(30.0, 25.0))
+        clock = GopClock(seq, 10)
+        assert clock.headroom_db == float("inf")
+        assert clock.add_quality(100.0) == 100.0
+
+
+class TestDeadline:
+    def test_window_resets_on_deadline(self):
+        clock = make_clock(deadline=3, alpha=30.0)
+        clock.add_quality(4.0)
+        assert not clock.tick()
+        assert not clock.tick()
+        assert clock.tick()  # third slot => deadline
+        assert clock.completed_gop_psnrs == [pytest.approx(34.0)]
+        assert clock.psnr_db == 30.0  # accumulator restarts at base layer
+        assert clock.slot_in_window == 0
+
+    def test_multiple_gops_recorded_in_order(self):
+        clock = make_clock(deadline=2)
+        clock.add_quality(1.0)
+        clock.tick(); clock.tick()
+        clock.add_quality(2.0)
+        clock.tick(); clock.tick()
+        assert clock.completed_gop_psnrs == [pytest.approx(31.0), pytest.approx(32.0)]
+
+    def test_mean_gop_psnr(self):
+        clock = make_clock(deadline=1)
+        clock.add_quality(2.0); clock.tick()
+        clock.add_quality(4.0); clock.tick()
+        assert clock.mean_gop_psnr() == pytest.approx(33.0)
+
+    def test_mean_falls_back_to_open_window(self):
+        clock = make_clock()
+        clock.add_quality(5.0)
+        assert clock.mean_gop_psnr() == pytest.approx(35.0)
+
+    def test_invalid_deadline(self):
+        seq = VideoSequence("x", (352, 288), 30.0, 16, MgsRateDistortion(30, 25))
+        with pytest.raises(ConfigurationError):
+            GopClock(seq, 0)
+
+    def test_completed_list_is_a_copy(self):
+        clock = make_clock(deadline=1)
+        clock.tick()
+        clock.completed_gop_psnrs.append(999.0)
+        assert len(clock.completed_gop_psnrs) == 1

@@ -1,0 +1,79 @@
+"""Tests for the MGS rate-distortion model (eq. 9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.video.rd_model import MgsRateDistortion
+
+
+class TestPsnr:
+    def test_linear_model(self):
+        rd = MgsRateDistortion(alpha_db=30.0, beta_db_per_mbps=25.0)
+        assert rd.psnr(0.0) == 30.0
+        assert rd.psnr(0.4) == pytest.approx(40.0)
+
+    def test_saturation(self):
+        rd = MgsRateDistortion(30.0, 25.0, max_rate_mbps=0.4)
+        assert rd.psnr(0.4) == pytest.approx(40.0)
+        assert rd.psnr(1.0) == pytest.approx(40.0)
+        assert rd.max_psnr_db == pytest.approx(40.0)
+
+    def test_unbounded_model(self):
+        rd = MgsRateDistortion(30.0, 25.0)
+        assert rd.max_psnr_db == float("inf")
+        assert rd.psnr(100.0) == pytest.approx(30.0 + 2500.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MgsRateDistortion(30.0, 25.0).psnr(-0.1)
+
+    def test_invalid_constants(self):
+        with pytest.raises(ValueError):
+            MgsRateDistortion(-1.0, 25.0)
+        with pytest.raises(ValueError):
+            MgsRateDistortion(30.0, 0.0)
+        with pytest.raises(ValueError):
+            MgsRateDistortion(30.0, 25.0, max_rate_mbps=0.0)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        rd = MgsRateDistortion(28.0, 32.0)
+        rate = rd.rate_for_psnr(36.0)
+        assert rd.psnr(rate) == pytest.approx(36.0)
+
+    def test_below_base_layer(self):
+        rd = MgsRateDistortion(28.0, 32.0)
+        assert rd.rate_for_psnr(20.0) == 0.0
+
+    def test_unreachable_target(self):
+        rd = MgsRateDistortion(28.0, 32.0, max_rate_mbps=0.2)
+        with pytest.raises(ValueError):
+            rd.rate_for_psnr(50.0)
+
+    @given(psnr=st.floats(28.0, 60.0))
+    @settings(max_examples=40)
+    def test_property_round_trip(self, psnr):
+        rd = MgsRateDistortion(28.0, 32.0)
+        assert rd.psnr(rd.rate_for_psnr(psnr)) == pytest.approx(max(psnr, 28.0))
+
+
+class TestSlotIncrement:
+    def test_paper_constant(self):
+        # R_{i,j} = beta_j * B_i / T (problem (10)).
+        rd = MgsRateDistortion(28.0, 32.0)
+        assert rd.slot_increment(0.3, 10) == pytest.approx(32.0 * 0.3 / 10.0)
+
+    def test_full_gop_recovers_linear_model(self):
+        # Receiving one full channel for all T slots = beta * B of quality.
+        rd = MgsRateDistortion(28.0, 32.0)
+        total = rd.slot_increment(0.3, 10) * 10
+        assert 28.0 + total == pytest.approx(rd.psnr(0.3))
+
+    def test_zero_bandwidth(self):
+        assert MgsRateDistortion(28.0, 32.0).slot_increment(0.0, 10) == 0.0
+
+    def test_invalid_deadline(self):
+        with pytest.raises(ValueError):
+            MgsRateDistortion(28.0, 32.0).slot_increment(0.3, 0)

@@ -1,0 +1,61 @@
+"""Tests for the sequence library."""
+
+import pytest
+
+from repro.utils.errors import ConfigurationError
+from repro.video.sequences import SEQUENCE_LIBRARY, VideoSequence, get_sequence
+from repro.video.rd_model import MgsRateDistortion
+
+
+class TestLibrary:
+    def test_paper_sequences_present(self):
+        for name in ("bus", "mobile", "harbor"):
+            seq = get_sequence(name)
+            assert seq.resolution == (352, 288)  # CIF, Section V
+            assert seq.gop_size == 16
+
+    def test_lookup_case_insensitive(self):
+        assert get_sequence("Bus") is get_sequence("bus")
+
+    def test_unknown_sequence_lists_available(self):
+        with pytest.raises(ConfigurationError, match="bus"):
+            get_sequence("nosuchvideo")
+
+    def test_mobile_is_hardest(self):
+        # Published MGS orderings: Mobile has the lowest base-layer PSNR.
+        alphas = {name: seq.rd.alpha_db for name, seq in SEQUENCE_LIBRARY.items()}
+        assert alphas["mobile"] == min(alphas.values())
+
+    def test_bus_has_steepest_slope_of_paper_trio(self):
+        betas = {name: get_sequence(name).rd.beta_db_per_mbps
+                 for name in ("bus", "mobile", "harbor")}
+        assert betas["bus"] == max(betas.values())
+
+    def test_all_sequences_saturate(self):
+        # Finite enhancement layers: see module docstring (saturation is
+        # the mechanism penalising winner-take-all schedulers).
+        for seq in SEQUENCE_LIBRARY.values():
+            assert seq.rd.max_rate_mbps < float("inf")
+            assert 35.0 < seq.rd.max_psnr_db < 50.0
+
+    def test_gop_duration(self):
+        seq = get_sequence("bus")
+        assert seq.gop_duration_s == pytest.approx(16.0 / 30.0)
+
+    def test_base_psnr_property(self):
+        seq = get_sequence("harbor")
+        assert seq.base_psnr_db == seq.rd.alpha_db
+
+
+class TestVideoSequenceValidation:
+    def test_invalid_gop(self):
+        with pytest.raises(ConfigurationError):
+            VideoSequence("x", (352, 288), 30.0, 0, MgsRateDistortion(30, 30))
+
+    def test_invalid_frame_rate(self):
+        with pytest.raises(ConfigurationError):
+            VideoSequence("x", (352, 288), 0.0, 16, MgsRateDistortion(30, 30))
+
+    def test_invalid_resolution(self):
+        with pytest.raises(ConfigurationError):
+            VideoSequence("x", (0, 288), 30.0, 16, MgsRateDistortion(30, 30))
