@@ -49,6 +49,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", metavar="FILE", default=None,
                        help="save the result data as JSON (see "
                             "repro.experiments.results_io)")
+        p.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="checkpoint completed (scheme, point, run) "
+                            "cells to FILE and resume from it on restart "
+                            "(sweep figures only)")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -98,6 +102,22 @@ def _maybe_save(result, args) -> List[str]:
     return [f"[saved to {path}]"]
 
 
+def _health_lines(result) -> List[str]:
+    """Fault-tolerance footer of a sweep: failed runs + degraded slots."""
+    n_failed = getattr(result, "n_failed", 0)
+    n_degraded = sum(summary.n_degraded_slots
+                     for summaries in result.summaries.values()
+                     for summary in summaries)
+    lines = []
+    if n_failed:
+        lines.append(f"[warning: {n_failed} replication(s) failed after "
+                     f"retry and were excluded from the summaries]")
+    if n_degraded:
+        lines.append(f"[note: {n_degraded} slot(s) completed via a "
+                     f"degraded path (solver fallback / sensing outage)]")
+    return lines
+
+
 def _run_figure(name: str, args) -> str:
     if name == "fig3":
         rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
@@ -107,36 +127,42 @@ def _run_figure(name: str, args) -> str:
             f"max per-user gain of proposed over a heuristic: "
             f"{max_improvement_db(rows):.2f} dB",
         ])
+    checkpoint = getattr(args, "checkpoint", None)
     if name == "fig4b":
-        result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                           checkpoint_path=checkpoint)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
             format_sweep(result, value_format="M={}"),
-        ] + _maybe_chart(result, args))
+        ] + _health_lines(result) + _maybe_chart(result, args))
     if name == "fig4c":
-        result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                           checkpoint_path=checkpoint)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
             format_sweep(result, value_format="eta={}"),
-        ] + _maybe_chart(result, args))
+        ] + _health_lines(result) + _maybe_chart(result, args))
     if name == "fig6a":
-        result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                           checkpoint_path=checkpoint)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
             format_sweep(result, upper_bound=True, value_format="eta={}"),
-        ] + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
     if name == "fig6b":
-        result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                           checkpoint_path=checkpoint)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
             format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
-        ] + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
     if name == "fig6c":
-        result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                           checkpoint_path=checkpoint)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
             format_sweep(result, upper_bound=True, value_format="B0={}"),
-        ] + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
     raise ValueError(f"unknown figure {name!r}")
 
 
@@ -152,6 +178,10 @@ def _run_simulate(args) -> str:
     lines.append(f"Jain fairness  : {summary.fairness}")
     lines.append(f"collision rate : {summary.mean_collision_rate} "
                  f"(cap gamma = {config.gamma})")
+    lines.append(f"failed runs    : {summary.n_failed} of {args.runs} "
+                 f"(excluded from the statistics)")
+    lines.append(f"degraded slots : {summary.n_degraded_slots} "
+                 f"(solver fallbacks / sensing outages)")
     if args.scheme.startswith("proposed") and args.scenario == "interfering":
         lines.append(f"eq. (23) bound : {summary.upper_bound_psnr}")
     return "\n".join(lines)

@@ -36,6 +36,7 @@ Two solvers are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Set
 
 import numpy as np
@@ -178,6 +179,7 @@ class DualDecompositionSolver:
         trace = [lam.copy()] if self.record_trace else None
         converged = False
         iterations = 0
+        movement = float("inf")
         best_recovered = None
         stagnant_checks = 0
         choose_mbs = np.zeros(n, dtype=bool)
@@ -232,7 +234,7 @@ class DualDecompositionSolver:
         if not converged and self.strict:
             raise ConvergenceError(
                 f"dual decomposition did not converge in {self.max_iterations} "
-                f"iterations", iterations=iterations)
+                f"iterations", iterations=iterations, residual=movement)
 
         mbs_set = {users[j].user_id for j in range(n) if choose_mbs[j]}
         # Primal recovery: the subgradient iterate is approximately
@@ -276,9 +278,17 @@ def _branch_share(success: np.ndarray, lam, w: np.ndarray,
     return raw
 
 
-#: Solver reused by :func:`fast_solve`; constructed once, it is stateless
-#: across calls.
-_FAST_DUAL = None
+@lru_cache(maxsize=16)
+def _fast_solver(max_iterations: int) -> DualDecompositionSolver:
+    """Shared solver instances for :func:`fast_solve`, keyed on the budget.
+
+    The solver is stateless across calls, so instances can be shared
+    freely; ``lru_cache`` keeps one per distinct ``max_iterations`` and is
+    safe under concurrent callers (threads or forked workers each resolve
+    to an equivalent instance), unlike the old single module-global slot
+    which thrashed and raced when two budgets alternated.
+    """
+    return DualDecompositionSolver(max_iterations=max_iterations)
 
 
 def fast_solve(problem: SlotProblem, *, max_iterations: int = 400,
@@ -304,10 +314,8 @@ def fast_solve(problem: SlotProblem, *, max_iterations: int = 400,
     initial_multipliers:
         Warm start, useful across consecutive ``Q`` evaluations.
     """
-    global _FAST_DUAL
-    if _FAST_DUAL is None or _FAST_DUAL.max_iterations != max_iterations:
-        _FAST_DUAL = DualDecompositionSolver(max_iterations=max_iterations)
-    solution = _FAST_DUAL.solve(problem, initial_multipliers=initial_multipliers)
+    solution = _fast_solver(max_iterations).solve(
+        problem, initial_multipliers=initial_multipliers)
     if not polish:
         return solution.allocation
     return flip_polish(problem, solution.allocation)

@@ -13,6 +13,8 @@ round-trips them.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -148,7 +150,19 @@ def trace_from_dict(data: dict) -> Fig4aResult:
 
 def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
                  path: Union[str, Path]) -> Path:
-    """Serialise any supported experiment result to a JSON file."""
+    """Serialise any supported experiment result to a JSON file.
+
+    The write is **atomic**: the payload is serialised and fully written
+    to a temporary file in the destination directory, fsynced, and only
+    then moved over ``path`` with :func:`os.replace`.  An interrupted or
+    failed save therefore never corrupts an existing results file --
+    either the old contents survive intact or the new file is complete.
+
+    Non-finite floats (NaN/inf) are rejected at serialisation time with a
+    :class:`ConfigurationError`: Python's ``json`` would otherwise emit
+    bare ``NaN`` tokens that standard JSON parsers (and this module's
+    loader) cannot read back.
+    """
     if isinstance(obj, SweepResult):
         payload = sweep_to_dict(obj)
     elif isinstance(obj, Fig4aResult):
@@ -158,8 +172,29 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
     else:
         raise ConfigurationError(
             f"unsupported result type {type(obj).__name__}")
+    try:
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"result contains non-finite floats and cannot be saved as "
+            f"portable JSON: {exc}") from exc
     path = Path(path)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or ".")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Leave no temp debris behind on any failure (including
+        # KeyboardInterrupt mid-write); the destination is untouched.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return path
 
 

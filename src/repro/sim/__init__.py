@@ -10,18 +10,25 @@ confidence intervals.
 """
 
 from repro.sim.channel_assignment import color_partition_allocation
+from repro.sim.checkpoint import SweepCheckpoint
 from repro.sim.config import ScenarioConfig
 from repro.sim.engine import SimulationEngine, SlotRecord
-from repro.sim.metrics import RunMetrics, summarize_runs
-from repro.sim.runner import MonteCarloRunner, SweepResult
+from repro.sim.fallback import DegradationEvent, FallbackChain
+from repro.sim.metrics import FailedRun, RunMetrics, summarize_runs
+from repro.sim.runner import MonteCarloRunner, SweepResult, sweep
 
 __all__ = [
+    "DegradationEvent",
+    "FailedRun",
+    "FallbackChain",
     "MonteCarloRunner",
     "RunMetrics",
     "ScenarioConfig",
     "SimulationEngine",
     "SlotRecord",
+    "SweepCheckpoint",
     "SweepResult",
     "color_partition_allocation",
     "summarize_runs",
+    "sweep",
 ]

@@ -1,0 +1,215 @@
+"""Checkpoint/resume for parameter sweeps.
+
+A figure-scale sweep is hours of compute: ``schemes x sweep points x
+replications`` independent cells.  Losing all of it to a crash at cell
+N-1 (or to an operator Ctrl-C) is the single most expensive failure mode
+of the pipeline, so :func:`repro.sim.runner.sweep` can persist every
+completed ``(scheme, sweep point, run)`` cell to an append-only JSONL
+checkpoint and skip those cells on restart.
+
+File format (one JSON object per line):
+
+* line 1 -- a header fingerprinting the sweep (``parameter``, ``values``,
+  ``schemes``, ``n_runs``, root ``seed``, format version).  Resuming with
+  a different sweep raises :class:`~repro.utils.errors.CheckpointError`
+  instead of silently mixing incompatible results.
+* every further line -- one completed cell: ``{"key": "scheme|point|run",
+  "status": "ok", "metrics": {...}}`` for a surviving replication or
+  ``{"key": ..., "status": "failed", "failure": {...}}`` for a
+  replication that failed after its retry (so failures are not retried
+  forever across resumes).
+
+Each cell is flushed and fsynced as soon as it completes, so the file
+never trails the computation by more than one cell.  Because a crash can
+interrupt a line mid-write, the loader tolerates (and drops) a malformed
+*final* line; a malformed line in the middle of the file means real
+corruption and raises.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.sim.fallback import DegradationEvent
+from repro.sim.metrics import FailedRun, RunMetrics
+from repro.utils.errors import CheckpointError
+
+#: Schema version of checkpoint files written by this module.
+CHECKPOINT_VERSION = 1
+
+
+def run_metrics_to_dict(metrics: RunMetrics) -> dict:
+    """Serialise a :class:`RunMetrics` to JSON-compatible primitives."""
+    return {
+        "per_user_psnr": {str(uid): float(v)
+                          for uid, v in metrics.per_user_psnr.items()},
+        "mean_psnr": float(metrics.mean_psnr),
+        "fairness": float(metrics.fairness),
+        "collision_rates": np.asarray(metrics.collision_rates,
+                                      dtype=float).tolist(),
+        "upper_bound_psnr": float(metrics.upper_bound_psnr),
+        "bound_gaps_per_gop": [float(g) for g in metrics.bound_gaps_per_gop],
+        "degradation_events": [event.to_dict()
+                               for event in metrics.degradation_events],
+    }
+
+
+def run_metrics_from_dict(data: dict) -> RunMetrics:
+    """Inverse of :func:`run_metrics_to_dict`."""
+    return RunMetrics(
+        per_user_psnr={int(uid): float(v)
+                       for uid, v in data["per_user_psnr"].items()},
+        mean_psnr=float(data["mean_psnr"]),
+        fairness=float(data["fairness"]),
+        collision_rates=np.asarray(data["collision_rates"], dtype=float),
+        upper_bound_psnr=float(data["upper_bound_psnr"]),
+        bound_gaps_per_gop=tuple(float(g)
+                                 for g in data.get("bound_gaps_per_gop", [])),
+        degradation_events=tuple(
+            DegradationEvent.from_dict(event)
+            for event in data.get("degradation_events", [])),
+    )
+
+
+def _normalize_values(values) -> list:
+    """Sweep values as they round-trip through JSON (tuples become lists)."""
+    return [list(v) if isinstance(v, (tuple, list)) else v for v in values]
+
+
+class SweepCheckpoint:
+    """Append-only JSONL store of completed sweep cells.
+
+    Parameters
+    ----------
+    path:
+        Checkpoint file; created (with its header) if missing, loaded and
+        fingerprint-checked if present.
+    parameter, values, schemes, n_runs, seed:
+        The sweep's identity, stored in (and verified against) the
+        header so a checkpoint can never be resumed by a different
+        sweep.
+    """
+
+    def __init__(self, path: Union[str, Path], *, parameter: str, values,
+                 schemes, n_runs: int, seed: Optional[int]) -> None:
+        self.path = Path(path)
+        self._header = {
+            "kind": "sweep-checkpoint",
+            "format_version": CHECKPOINT_VERSION,
+            "parameter": parameter,
+            "values": _normalize_values(values),
+            "schemes": list(schemes),
+            "n_runs": int(n_runs),
+            "seed": seed,
+        }
+        self._cells: Dict[str, Union[RunMetrics, FailedRun]] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._load()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append_line(self._header)
+
+    @staticmethod
+    def cell_key(scheme: str, point_index: int, run_index: int) -> str:
+        """Canonical key of one ``(scheme, sweep point, run)`` cell."""
+        return f"{scheme}|{point_index}|{run_index}"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def get(self, key: str) -> Optional[Union[RunMetrics, FailedRun]]:
+        """The stored cell result, or ``None`` if not yet completed."""
+        return self._cells.get(key)
+
+    def record(self, key: str,
+               result: Union[RunMetrics, FailedRun]) -> None:
+        """Persist one completed cell (flushed + fsynced immediately)."""
+        if isinstance(result, RunMetrics):
+            line = {"key": key, "status": "ok",
+                    "metrics": run_metrics_to_dict(result)}
+        elif isinstance(result, FailedRun):
+            line = {"key": key, "status": "failed",
+                    "failure": result.to_dict()}
+        else:
+            raise TypeError(
+                f"expected RunMetrics or FailedRun, got {type(result).__name__}")
+        self._append_line(line)
+        self._cells[key] = result
+
+    # -- internals -------------------------------------------------------
+
+    def _append_line(self, payload: dict) -> None:
+        try:
+            text = json.dumps(payload, sort_keys=True, allow_nan=False)
+        except ValueError as exc:
+            raise CheckpointError(
+                f"refusing to checkpoint non-finite values: {exc}") from exc
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _load(self) -> None:
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        parsed = []
+        offset = 0
+        for index, line in enumerate(lines):
+            if not line.strip():
+                offset += len(line) + 1
+                continue
+            try:
+                parsed.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if any(later.strip() for later in lines[index + 1:]):
+                    raise CheckpointError(
+                        f"corrupt checkpoint {self.path}: line {index + 1} "
+                        f"is not valid JSON ({exc})") from exc
+                # A crash mid-append leaves a truncated final line; drop
+                # it (the cell re-runs) and truncate the file back to the
+                # last complete line so later appends start cleanly
+                # instead of gluing onto the partial line.
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(offset)
+                break
+            offset += len(line) + 1
+        if not parsed:
+            raise CheckpointError(
+                f"corrupt checkpoint {self.path}: no readable header")
+        header = parsed[0]
+        self._check_header(header)
+        for entry in parsed[1:]:
+            key = entry.get("key")
+            status = entry.get("status")
+            if key is None or status not in ("ok", "failed"):
+                raise CheckpointError(
+                    f"corrupt checkpoint {self.path}: malformed cell {entry!r}")
+            if status == "ok":
+                self._cells[key] = run_metrics_from_dict(entry["metrics"])
+            else:
+                self._cells[key] = FailedRun.from_dict(entry["failure"])
+
+    def _check_header(self, header: dict) -> None:
+        if header.get("kind") != "sweep-checkpoint":
+            raise CheckpointError(
+                f"{self.path} is not a sweep checkpoint "
+                f"(kind={header.get('kind')!r})")
+        version = header.get("format_version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {version!r} in {self.path} "
+                f"(this build reads {CHECKPOINT_VERSION})")
+        for key in ("parameter", "values", "schemes", "n_runs", "seed"):
+            if header.get(key) != self._header[key]:
+                raise CheckpointError(
+                    f"checkpoint {self.path} belongs to a different sweep: "
+                    f"{key} is {header.get(key)!r}, this sweep has "
+                    f"{self._header[key]!r}")

@@ -80,6 +80,14 @@ class ScenarioConfig:
         Nominal NAL-unit payload when ``nal_quantized`` is on.
     seed:
         Root RNG seed; ``None`` for fresh entropy.
+    fault_plan:
+        Optional fault-injection schedule (duck-typed; see
+        :class:`repro.testing.faults.FaultPlan`).  ``None`` (the default)
+        injects nothing.  The engine consults it through three hooks --
+        ``forces_nonconvergence(slot)``, ``poisons_fading(slot)`` and
+        ``sensing_outage(slot, n_channels)`` -- and the Monte-Carlo
+        runner announces replications via ``begin_run(run_index,
+        attempt)`` when the plan defines it.
     """
 
     topology: Topology
@@ -103,6 +111,7 @@ class ScenarioConfig:
     nal_quantized: bool = False
     nal_packet_bits: int = 8000
     seed: Optional[int] = 7
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:

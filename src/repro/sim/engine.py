@@ -22,6 +22,7 @@ slot executes the paper's four phases:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
@@ -31,6 +32,7 @@ from repro.core.allocator import get_allocator
 from repro.core.dual import fast_solve
 from repro.core.bounds import GreedyTrace, tighter_upper_bound
 from repro.core.greedy import GreedyChannelAllocator
+from repro.core.heuristics import EqualAllocationHeuristic
 from repro.core.problem import Allocation, SlotProblem, UserDemand
 from repro.sensing.access import (
     AccessDecision,
@@ -47,8 +49,10 @@ from repro.sim.channel_assignment import (
     expected_channels_of,
 )
 from repro.sim.config import ScenarioConfig
+from repro.sim.fallback import DegradationEvent, FallbackChain
 from repro.sim.metrics import RunMetrics, compute_run_metrics
 from repro.spectrum.channel import Spectrum
+from repro.utils.errors import NumericalError
 from repro.utils.rng import spawn_streams
 from repro.video.gop import GopClock
 from repro.video.sequences import get_sequence
@@ -128,6 +132,15 @@ class SimulationEngine:
         }
 
         self.allocator = get_allocator(config.scheme)
+        # Solver fallback chain: the configured scheme first, degrading to
+        # the closed-form equal-allocation heuristic (which cannot fail to
+        # converge) when the primary solver misbehaves -- see
+        # repro.sim.fallback for the validation and event semantics.
+        chain = [(config.scheme, self.allocator)]
+        if config.scheme != "heuristic1":
+            chain.append(("heuristic1", EqualAllocationHeuristic()))
+        self._fallback_chain = FallbackChain(chain)
+        self.degradations: List[DegradationEvent] = []
         self._interfering = topology.interference_graph.number_of_edges() > 0
         self._greedy = (GreedyChannelAllocator(topology.interference_graph)
                         if self._interfering else None)
@@ -241,8 +254,18 @@ class SimulationEngine:
         return csi
 
     def step(self) -> SlotRecord:
-        """Simulate one complete time slot and return its record."""
+        """Simulate one complete time slot and return its record.
+
+        Raises
+        ------
+        NumericalError
+            When a non-finite fading margin is drawn (or injected); the
+            Monte-Carlo runner isolates this per replication.
+        AllocationFailedError
+            When every allocator in the fallback chain fails.
+        """
         config = self.config
+        fault_plan = config.fault_plan
         state = self.spectrum.advance()
 
         # --- Sensing phase -------------------------------------------------
@@ -263,6 +286,20 @@ class SimulationEngine:
             # antenna) reaches the fusion centre.
             results_by_channel = {m: results[:1]
                                   for m, results in results_by_channel.items()}
+        if fault_plan is not None:
+            # Injected sensing outage: the affected channels' observations
+            # never reach the fusion centre, so fusion degrades to the
+            # channel prior (eq. (2) with L=0).  The slot still completes;
+            # the degradation is recorded rather than fatal.
+            outage = fault_plan.sensing_outage(self._slot, config.n_channels)
+            if outage:
+                for m in outage:
+                    results_by_channel[m] = []
+                self.degradations.append(DegradationEvent(
+                    slot=self._slot, cause="sensing-outage",
+                    allocator="sensing", fallback="prior-only",
+                    detail=("observations missing on channels "
+                            f"{sorted(outage)}; fused from priors")))
         if self.belief_tracker is not None:
             self.belief_tracker.predict()
             posteriors = np.array([
@@ -284,6 +321,16 @@ class SimulationEngine:
 
         # --- Channel + time-share allocation --------------------------------
         csi = self._draw_csi()
+        if fault_plan is not None and fault_plan.poisons_fading(self._slot):
+            csi = {user_id: (float("nan"), float("nan")) for user_id in csi}
+        for user_id, margins in csi.items():
+            if not all(map(math.isfinite, margins)):
+                # Fail fast and loud: a NaN margin would otherwise flow
+                # silently through the PSNR recursion (NaN > 1.0 is just
+                # False) and corrupt the run's metrics.
+                raise NumericalError(
+                    f"non-finite fading margin {margins} for user {user_id} "
+                    f"at slot {self._slot}")
         fbs_ids = sorted({static["fbs_id"] for static in self._demands_static.values()})
         greedy_trace: Optional[GreedyTrace] = None
         bound_gap = 0.0
@@ -314,7 +361,11 @@ class SimulationEngine:
                 config.topology.interference_graph, fbs_ids, available, posterior_map)
             expected = expected_channels_of(channel_map, posterior_map)
             problem = self.build_slot_problem(expected, csi)
-        allocation = self.allocator.allocate(problem)
+        inject = (fault_plan is not None
+                  and fault_plan.forces_nonconvergence(self._slot))
+        allocation, degradations = self._fallback_chain.allocate(
+            problem, slot=self._slot, inject_nonconvergence=inject)
+        self.degradations.extend(degradations)
 
         # --- Transmission + ACK phase ---------------------------------------
         # Block fading: the margin drawn at slot start decides every packet
@@ -381,4 +432,5 @@ class SimulationEngine:
             clocks=self.clocks,
             collision_rates=self.collisions.collision_rates(),
             bound_gaps_per_gop=self._bound_gaps_per_gop,
+            degradation_events=self.degradations,
         )

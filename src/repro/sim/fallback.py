@@ -1,0 +1,208 @@
+"""Per-slot solver fallback chain and degradation accounting.
+
+A production sweep must not lose an entire figure because one slot of one
+replication hit a pathological problem instance: a dual solver that fails
+to converge (or is configured ``strict=True`` and raises), a numerically
+corrupted allocation (NaN shares), or an infeasible time-share vector.
+:class:`FallbackChain` wraps the scheme's allocator with a degradation
+path: each allocator in the chain is tried in order, its output is
+validated with :func:`check_allocation`, and on failure the engine
+degrades to the next allocator while recording a structured
+:class:`DegradationEvent` (slot, cause, residual, fallback used) instead
+of crashing.  The events ride along in
+:class:`~repro.sim.metrics.RunMetrics` so experiments can report *how
+often* they degraded, not just their final numbers.
+
+The default chain built by the engine is ``[configured scheme,
+heuristic1]`` -- the equal-allocation heuristic is closed-form and cannot
+fail to converge, which makes it a safe terminal fallback for every
+scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.problem import Allocation, SlotProblem
+from repro.utils.errors import AllocationFailedError, ConvergenceError, ReproError
+
+#: Feasibility slack when validating per-station time-share sums.
+_FEASIBILITY_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recorded degradation of a slot's allocation path.
+
+    Attributes
+    ----------
+    slot:
+        0-based slot index at which the degradation happened.
+    cause:
+        Machine-readable cause: ``"convergence"`` (solver raised
+        :class:`ConvergenceError`), ``"non-finite"`` (NaN/inf in the
+        allocation), ``"infeasible"`` (per-station shares exceed the
+        slot), ``"allocator-error"`` (any other :class:`ReproError`),
+        ``"injected-nonconvergence"`` (fault harness), or
+        ``"sensing-outage"`` (a channel's observations went missing and
+        fusion fell back to the prior).
+    allocator:
+        Name of the allocator (or subsystem) that failed.
+    fallback:
+        Name of the allocator the slot degraded to (``"none"`` when the
+        failure was terminal or the event is informational).
+    residual:
+        Convergence residual when the cause carries one.
+    detail:
+        Free-form human-readable context.
+    """
+
+    slot: int
+    cause: str
+    allocator: str
+    fallback: str = "none"
+    residual: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (checkpoint / results files)."""
+        return {
+            "slot": self.slot,
+            "cause": self.cause,
+            "allocator": self.allocator,
+            "fallback": self.fallback,
+            "residual": self.residual,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DegradationEvent":
+        """Inverse of :meth:`to_dict`."""
+        residual = data.get("residual")
+        return cls(
+            slot=int(data["slot"]),
+            cause=str(data["cause"]),
+            allocator=str(data["allocator"]),
+            fallback=str(data.get("fallback", "none")),
+            residual=None if residual is None else float(residual),
+            detail=str(data.get("detail", "")),
+        )
+
+
+def check_allocation(problem: SlotProblem,
+                     allocation: Allocation) -> Optional[str]:
+    """Validate an allocation; return a failure cause or ``None`` if usable.
+
+    Checks, in order:
+
+    * every time share and the objective are finite (``"non-finite"``);
+    * every share lies in ``[0, 1]`` and each station's shares sum to at
+      most the slot (``"infeasible"``).
+
+    The checks are deliberately cheap -- a handful of float comparisons
+    per user -- so the engine can afford them on every slot.
+    """
+    shares = list(allocation.rho_mbs.values()) + list(allocation.rho_fbs.values())
+    if not all(map(math.isfinite, shares)):
+        return "non-finite"
+    if not math.isfinite(allocation.objective):
+        return "non-finite"
+    if any(share < -_FEASIBILITY_TOL or share > 1.0 + _FEASIBILITY_TOL
+           for share in shares):
+        return "infeasible"
+    mbs_load = sum(allocation.rho_mbs.get(uid, 0.0)
+                   for uid in allocation.mbs_user_ids)
+    if mbs_load > 1.0 + _FEASIBILITY_TOL:
+        return "infeasible"
+    for fbs_id in problem.fbs_ids:
+        cell_load = sum(
+            allocation.rho_fbs.get(user.user_id, 0.0)
+            for user in problem.users_of_fbs(fbs_id)
+            if user.user_id not in allocation.mbs_user_ids)
+        if cell_load > 1.0 + _FEASIBILITY_TOL:
+            return "infeasible"
+    return None
+
+
+class FallbackChain:
+    """Ordered chain of allocators with validation between links.
+
+    Parameters
+    ----------
+    allocators:
+        ``[(name, allocator), ...]`` tried in order.  The first allocator
+        is the scheme under evaluation; later entries are degradation
+        targets.  Every allocator exposes ``allocate(problem) ->
+        Allocation``.
+    """
+
+    def __init__(self, allocators: Sequence[Tuple[str, object]]) -> None:
+        if not allocators:
+            raise ValueError("FallbackChain needs at least one allocator")
+        self.allocators = list(allocators)
+
+    def allocate(self, problem: SlotProblem, *, slot: int,
+                 inject_nonconvergence: bool = False
+                 ) -> Tuple[Allocation, List[DegradationEvent]]:
+        """Allocate one slot, degrading down the chain on failure.
+
+        Parameters
+        ----------
+        problem:
+            The slot problem.
+        slot:
+            0-based slot index (recorded in events).
+        inject_nonconvergence:
+            Fault-injection hook: treat the *primary* allocator as having
+            raised :class:`ConvergenceError` without running it (the
+            deterministic failure used by the robustness suite).
+
+        Returns
+        -------
+        (allocation, events):
+            The first allocation that validates, plus one
+            :class:`DegradationEvent` per failed stage (empty on the
+            happy path).
+
+        Raises
+        ------
+        AllocationFailedError
+            When every allocator in the chain fails; the exception
+            carries the per-stage events.
+        """
+        events: List[DegradationEvent] = []
+        last_index = len(self.allocators) - 1
+        for index, (name, allocator) in enumerate(self.allocators):
+            next_name = (self.allocators[index + 1][0]
+                         if index < last_index else "none")
+            if inject_nonconvergence and index == 0:
+                events.append(DegradationEvent(
+                    slot=slot, cause="injected-nonconvergence",
+                    allocator=name, fallback=next_name,
+                    detail="fault harness forced non-convergence"))
+                continue
+            try:
+                allocation = allocator.allocate(problem)
+            except ConvergenceError as exc:
+                events.append(DegradationEvent(
+                    slot=slot, cause="convergence", allocator=name,
+                    fallback=next_name, residual=exc.residual,
+                    detail=str(exc)))
+                continue
+            except ReproError as exc:
+                events.append(DegradationEvent(
+                    slot=slot, cause="allocator-error", allocator=name,
+                    fallback=next_name, detail=f"{type(exc).__name__}: {exc}"))
+                continue
+            cause = check_allocation(problem, allocation)
+            if cause is None:
+                return allocation, events
+            events.append(DegradationEvent(
+                slot=slot, cause=cause, allocator=name, fallback=next_name,
+                detail=f"allocation rejected by validation ({cause})"))
+        raise AllocationFailedError(
+            f"all {len(self.allocators)} allocators failed on slot {slot} "
+            f"({', '.join(f'{e.allocator}: {e.cause}' for e in events)})",
+            events=events)

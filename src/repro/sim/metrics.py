@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.sim.fallback import DegradationEvent
 from repro.utils.stats import ConfidenceInterval, jain_fairness_index, mean_confidence_interval
 from repro.video.gop import GopClock
 
@@ -43,6 +44,11 @@ class RunMetrics:
         heuristic schemes).
     bound_gaps_per_gop:
         The accumulated objective gaps behind the bound (log domain).
+    degradation_events:
+        Structured fault-tolerance diagnostics recorded during the run
+        (solver fallbacks, sensing outages); see
+        :class:`~repro.sim.fallback.DegradationEvent`.  Empty on a fully
+        healthy run.
     """
 
     per_user_psnr: Dict[int, float]
@@ -51,15 +57,23 @@ class RunMetrics:
     collision_rates: np.ndarray
     upper_bound_psnr: float
     bound_gaps_per_gop: Sequence[float] = field(default_factory=tuple)
+    degradation_events: Sequence[DegradationEvent] = field(default_factory=tuple)
 
     @property
     def n_users(self) -> int:
         """Number of users in the run."""
         return len(self.per_user_psnr)
 
+    @property
+    def n_degraded(self) -> int:
+        """Number of degradation events recorded during the run."""
+        return len(self.degradation_events)
+
 
 def compute_run_metrics(clocks: Mapping[int, GopClock], collision_rates: np.ndarray,
-                        bound_gaps_per_gop: Sequence[float]) -> RunMetrics:
+                        bound_gaps_per_gop: Sequence[float],
+                        degradation_events: Sequence[DegradationEvent] = ()
+                        ) -> RunMetrics:
     """Fold per-user GOP clocks into a :class:`RunMetrics`.
 
     The eq. (23) gap is a bound on the *objective* (sum over users of
@@ -95,7 +109,61 @@ def compute_run_metrics(clocks: Mapping[int, GopClock], collision_rates: np.ndar
         collision_rates=np.asarray(collision_rates, dtype=float),
         upper_bound_psnr=upper_bound,
         bound_gaps_per_gop=tuple(gaps),
+        degradation_events=tuple(degradation_events),
     )
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Diagnostic record of a Monte-Carlo replication that was lost.
+
+    Produced by the fault-tolerant runner when a replication raises a
+    :class:`~repro.utils.errors.ReproError` on its first attempt *and* on
+    its fresh-seed retry.  Kept alongside the surviving runs (and in
+    sweep checkpoints) so failures are reported, not silently dropped.
+
+    Attributes
+    ----------
+    run_index:
+        The replication index that failed.
+    error_type:
+        Class name of the final exception.
+    error:
+        Message of the final exception.
+    attempts:
+        Number of attempts made (first try + retries).
+    seeds:
+        The per-attempt derived seeds, for offline reproduction of the
+        failure (``None`` entries for unseeded experiments).
+    """
+
+    run_index: int
+    error_type: str
+    error: str
+    attempts: int
+    seeds: Tuple[Optional[int], ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-compatible representation (checkpoint files)."""
+        return {
+            "run_index": self.run_index,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+            "seeds": list(self.seeds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailedRun":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            run_index=int(data["run_index"]),
+            error_type=str(data["error_type"]),
+            error=str(data["error"]),
+            attempts=int(data["attempts"]),
+            seeds=tuple(None if s is None else int(s)
+                        for s in data.get("seeds", [])),
+        )
 
 
 @dataclass(frozen=True)
@@ -114,6 +182,14 @@ class MetricsSummary:
         Confidence interval of the Jain index.
     mean_collision_rate:
         Confidence interval of the channel-averaged collision rate.
+    n_failed:
+        Replications that failed (after their retry) and were excluded
+        from these statistics -- the explicit survivor count the
+        fault-tolerant runner reports instead of silently shrinking the
+        sample.
+    n_degraded_slots:
+        Total degradation events across the surviving runs (solver
+        fallbacks and sensing outages).
     """
 
     mean_psnr: ConfidenceInterval
@@ -121,10 +197,25 @@ class MetricsSummary:
     upper_bound_psnr: ConfidenceInterval
     fairness: ConfidenceInterval
     mean_collision_rate: ConfidenceInterval
+    n_failed: int = 0
+    n_degraded_slots: int = 0
 
 
-def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95) -> MetricsSummary:
-    """Summarise independent runs into confidence intervals."""
+def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95,
+                   n_failed: int = 0) -> MetricsSummary:
+    """Summarise independent runs into confidence intervals.
+
+    Parameters
+    ----------
+    runs:
+        The surviving replications (at least one).
+    confidence:
+        CI confidence level.
+    n_failed:
+        Replications that were lost to errors; recorded verbatim on the
+        summary so downstream consumers can see the effective sample
+        size shrank.
+    """
     if not runs:
         raise ValueError("runs must be non-empty")
     user_ids = sorted(runs[0].per_user_psnr)
@@ -145,4 +236,6 @@ def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95) -> Metr
             [run.fairness for run in runs], confidence),
         mean_collision_rate=mean_confidence_interval(
             [float(run.collision_rates.mean()) for run in runs], confidence),
+        n_failed=int(n_failed),
+        n_degraded_slots=sum(run.n_degraded for run in runs),
     )

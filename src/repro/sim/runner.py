@@ -3,18 +3,70 @@
 Runs a scenario several times with independent (but deterministically
 derived) seeds and summarises the runs -- the paper averages 10 runs per
 point and reports 95% confidence intervals (Section V).
+
+The harness is fault-tolerant: a replication that raises a
+:class:`~repro.utils.errors.ReproError` is retried once with a fresh
+deterministically-derived seed, and if the retry also fails the
+replication is recorded as a :class:`~repro.sim.metrics.FailedRun`
+diagnostic instead of aborting the experiment.  Summaries are computed
+over the surviving runs with an explicit ``n_failed`` count.  Parameter
+sweeps can additionally checkpoint every completed ``(scheme, sweep
+point, run)`` cell to disk (:mod:`repro.sim.checkpoint`) and resume
+after an interruption without recomputing finished cells.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.sim.checkpoint import SweepCheckpoint
 from repro.sim.config import ScenarioConfig
 from repro.sim.engine import SimulationEngine
-from repro.sim.metrics import MetricsSummary, RunMetrics, summarize_runs
-from repro.utils.errors import ConfigurationError
+from repro.sim.metrics import (
+    FailedRun,
+    MetricsSummary,
+    RunMetrics,
+    summarize_runs,
+)
+from repro.utils.errors import ConfigurationError, ReproError
 from repro.utils.rng import derive_seed
+
+#: Attempts per replication: the first try plus one fresh-seed retry.
+MAX_ATTEMPTS = 2
+
+
+def execute_run(config: ScenarioConfig, run_index: int
+                ) -> Tuple[Optional[RunMetrics], Optional[FailedRun]]:
+    """Run one replication with isolation and a single fresh-seed retry.
+
+    Returns ``(metrics, None)`` on success (possibly on the retry) or
+    ``(None, FailedRun)`` when every attempt raised a
+    :class:`ReproError`.  Programming errors (anything that is not a
+    ``ReproError``) propagate unchanged -- retrying those would only
+    mask bugs.
+    """
+    seeds: List[Optional[int]] = []
+    last_error: Optional[ReproError] = None
+    for attempt in range(MAX_ATTEMPTS):
+        seed = derive_seed(config.seed, run_index, attempt)
+        seeds.append(seed)
+        plan = config.fault_plan
+        if plan is not None and hasattr(plan, "begin_run"):
+            plan.begin_run(run_index, attempt)
+        try:
+            engine = SimulationEngine(config.with_seed(seed))
+            return engine.run(), None
+        except ReproError as exc:
+            last_error = exc
+    return None, FailedRun(
+        run_index=run_index,
+        error_type=type(last_error).__name__,
+        error=str(last_error),
+        attempts=MAX_ATTEMPTS,
+        seeds=tuple(seeds),
+    )
 
 
 class MonteCarloRunner:
@@ -24,9 +76,17 @@ class MonteCarloRunner:
     ----------
     config:
         The scenario; its ``seed`` is the root from which per-run seeds
-        are derived (run ``r`` uses ``SeedSequence([seed, r])``).
+        are derived (run ``r`` uses ``SeedSequence([seed, r])``; a
+        retried run uses ``SeedSequence([seed, r, attempt])``).
     n_runs:
         Number of independent replications (paper default: 10).
+
+    Attributes
+    ----------
+    failed_runs:
+        :class:`FailedRun` diagnostics from the most recent
+        :meth:`run_all` / :meth:`summary` call (empty when every
+        replication survived).
     """
 
     def __init__(self, config: ScenarioConfig, *, n_runs: int = 10) -> None:
@@ -34,19 +94,51 @@ class MonteCarloRunner:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
         self.config = config
         self.n_runs = int(n_runs)
+        self.failed_runs: List[FailedRun] = []
+
+    def run_one(self, run_index: int, attempt: int = 0) -> RunMetrics:
+        """Execute a single replication without isolation (raises on error)."""
+        if not 0 <= run_index < self.n_runs:
+            raise ConfigurationError(
+                f"run_index must be in [0, {self.n_runs}), got {run_index}")
+        seed = derive_seed(self.config.seed, run_index, attempt)
+        plan = self.config.fault_plan
+        if plan is not None and hasattr(plan, "begin_run"):
+            plan.begin_run(run_index, attempt)
+        return SimulationEngine(self.config.with_seed(seed)).run()
 
     def run_all(self) -> List[RunMetrics]:
-        """Execute every replication and return the per-run metrics."""
-        runs = []
+        """Execute every replication and return the surviving runs' metrics.
+
+        Each replication is isolated: a :class:`ReproError` triggers one
+        retry with a fresh derived seed, and a second failure is recorded
+        in :attr:`failed_runs` rather than raised.  Raises
+        :class:`ReproError` only when *every* replication failed.
+        """
+        runs: List[RunMetrics] = []
+        failures: List[FailedRun] = []
         for run_index in range(self.n_runs):
-            seed = derive_seed(self.config.seed, run_index)
-            engine = SimulationEngine(self.config.with_seed(seed))
-            runs.append(engine.run())
+            metrics, failure = execute_run(self.config, run_index)
+            if metrics is not None:
+                runs.append(metrics)
+            else:
+                failures.append(failure)
+        self.failed_runs = failures
+        if not runs:
+            raise ReproError(
+                f"all {self.n_runs} replications failed; last error: "
+                f"{failures[-1].error_type}: {failures[-1].error}")
         return runs
 
     def summary(self) -> MetricsSummary:
-        """Execute every replication and summarise with CIs."""
-        return summarize_runs(self.run_all())
+        """Execute every replication and summarise the survivors with CIs.
+
+        The summary's ``n_failed`` reports replications lost after their
+        retry; ``n_degraded_slots`` totals the surviving runs' recorded
+        degradation events.
+        """
+        runs = self.run_all()
+        return summarize_runs(runs, n_failed=len(self.failed_runs))
 
 
 @dataclass
@@ -75,11 +167,18 @@ class SweepResult:
         """Eq. (23) upper-bound series (meaningful for the proposed scheme)."""
         return [summary.upper_bound_psnr.mean for summary in self.summaries[scheme]]
 
+    @property
+    def n_failed(self) -> int:
+        """Total replications lost across every scheme and sweep point."""
+        return sum(summary.n_failed
+                   for summaries in self.summaries.values()
+                   for summary in summaries)
+
 
 def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
           schemes: Sequence[str], *, n_runs: int = 10,
-          configure: Callable[[ScenarioConfig, object], ScenarioConfig] = None
-          ) -> SweepResult:
+          configure: Callable[[ScenarioConfig, object], ScenarioConfig] = None,
+          checkpoint_path: Optional[Union[str, Path]] = None) -> SweepResult:
     """Sweep one parameter across several schemes.
 
     Parameters
@@ -99,22 +198,59 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         Optional hook ``(config, value) -> config`` for sweeps that touch
         more than a single attribute (e.g. utilisation sweeps also rebuild
         ``p01``).
+    checkpoint_path:
+        Optional checkpoint file.  Every completed ``(scheme, sweep
+        point, run)`` cell is appended as soon as it finishes; rerunning
+        the same sweep with the same path resumes, recomputing only the
+        missing cells.  The file fingerprints the sweep (parameter,
+        values, schemes, ``n_runs``, root seed) and refuses to resume a
+        different one.
 
     Notes
     -----
     All schemes at a sweep point share the same root seed, so they face
     identical channel occupancy, sensing noise, and fading -- the paired
-    comparison the paper's figures rely on.
+    comparison the paper's figures rely on.  Failed replications (after
+    their retry) are excluded from each point's summary and counted in
+    its ``n_failed``.
     """
+    checkpoint = None
+    if checkpoint_path is not None:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path, parameter=parameter, values=values,
+            schemes=schemes, n_runs=n_runs, seed=base_config.seed)
+
     result = SweepResult(parameter=parameter, values=list(values))
     for scheme in schemes:
         result.summaries[scheme] = []
-    for value in values:
+    for point_index, value in enumerate(values):
         if configure is not None:
             point_config = configure(base_config, value)
         else:
             point_config = base_config.replace(**{parameter: value})
         for scheme in schemes:
-            runner = MonteCarloRunner(point_config.with_scheme(scheme), n_runs=n_runs)
-            result.summaries[scheme].append(runner.summary())
+            scheme_config = point_config.with_scheme(scheme)
+            runs: List[RunMetrics] = []
+            failures: List[FailedRun] = []
+            for run_index in range(n_runs):
+                cell = None
+                key = SweepCheckpoint.cell_key(scheme, point_index, run_index)
+                if checkpoint is not None:
+                    cell = checkpoint.get(key)
+                if cell is None:
+                    metrics, failure = execute_run(scheme_config, run_index)
+                    cell = metrics if metrics is not None else failure
+                    if checkpoint is not None:
+                        checkpoint.record(key, cell)
+                if isinstance(cell, RunMetrics):
+                    runs.append(cell)
+                else:
+                    failures.append(cell)
+            if not runs:
+                raise ReproError(
+                    f"all {n_runs} replications failed for scheme "
+                    f"{scheme!r} at {parameter}={value!r}; last error: "
+                    f"{failures[-1].error_type}: {failures[-1].error}")
+            result.summaries[scheme].append(
+                summarize_runs(runs, n_failed=len(failures)))
     return result

@@ -1,0 +1,12 @@
+"""Testing utilities shipped with the library.
+
+:mod:`repro.testing.faults` provides the deterministic fault-injection
+harness used by the robustness suite (``tests/robustness/``) to prove the
+simulator's degradation paths end-to-end.  It is part of the installable
+package so downstream users can exercise the same failure modes against
+their own scenarios.
+"""
+
+from repro.testing.faults import FaultPlan, corrupt_json_file
+
+__all__ = ["FaultPlan", "corrupt_json_file"]

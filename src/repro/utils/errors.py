@@ -22,6 +22,40 @@ class InfeasibleProblemError(ReproError):
     """A resource-allocation problem instance has no feasible solution."""
 
 
+class NumericalError(ReproError):
+    """A non-finite value (NaN/inf) surfaced where a finite one is required.
+
+    Raised by runtime validation points (fading draws, slot allocations)
+    so that numerical corruption is reported as a structured, catchable
+    library failure instead of silently propagating through the PSNR
+    recursion.
+    """
+
+
+class AllocationFailedError(ReproError):
+    """Every allocator in a slot's fallback chain failed to produce a
+    usable allocation.
+
+    Carries the per-stage degradation events so callers can see exactly
+    which allocator failed with which cause.
+
+    Attributes
+    ----------
+    events:
+        The :class:`~repro.sim.fallback.DegradationEvent` records of the
+        failed stages (one per attempted allocator).
+    """
+
+    def __init__(self, message, events=()):
+        super().__init__(message)
+        self.events = tuple(events)
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable or inconsistent with the
+    sweep being resumed."""
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget.
 

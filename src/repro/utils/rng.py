@@ -65,16 +65,35 @@ def spawn_streams(seed: RandomState, names: Iterable[str]) -> Dict[str, np.rando
     return {name: np.random.default_rng(child) for name, child in zip(names, children)}
 
 
-def derive_seed(seed: Optional[int], run_index: int) -> Optional[int]:
+def derive_seed(seed: Optional[int], run_index: int,
+                attempt: int = 0) -> Optional[int]:
     """Deterministic per-run seed for Monte-Carlo replication ``run_index``.
 
     Returns ``None`` when ``seed`` is ``None`` so unseeded experiments stay
     fully random.
+
+    Parameters
+    ----------
+    seed:
+        Root seed of the experiment.
+    run_index:
+        Replication index.
+    attempt:
+        Retry counter.  ``attempt=0`` reproduces the historical
+        per-run seeds exactly; a retried replication (after a
+        :class:`~repro.utils.errors.ReproError`) passes ``attempt=1`` to
+        draw a fresh-but-deterministic seed that is independent of the
+        failed attempt's.
     """
     if seed is None:
         return None
     if run_index < 0:
         raise ValueError(f"run_index must be non-negative, got {run_index}")
+    if attempt < 0:
+        raise ValueError(f"attempt must be non-negative, got {attempt}")
     # SeedSequence composition keeps runs independent even for adjacent
-    # run indices (unlike naive ``seed + run_index`` arithmetic).
-    return int(np.random.SeedSequence([seed, run_index]).generate_state(1)[0])
+    # run indices (unlike naive ``seed + run_index`` arithmetic).  The
+    # attempt counter is only appended when non-zero so attempt 0 keeps
+    # the exact seeds produced before retries existed.
+    entropy = [seed, run_index] if attempt == 0 else [seed, run_index, attempt]
+    return int(np.random.SeedSequence(entropy).generate_state(1)[0])

@@ -76,6 +76,28 @@ class TestConvergence:
         with pytest.raises(ConvergenceError):
             solver.solve(make_problem(3))
 
+    def test_strict_error_carries_iterations_and_residual(self):
+        solver = DualDecompositionSolver(max_iterations=3, strict=True,
+                                         threshold=1e-12)
+        with pytest.raises(ConvergenceError) as excinfo:
+            solver.solve(make_problem(3))
+        error = excinfo.value
+        assert error.iterations == 3
+        assert error.residual is not None
+        assert np.isfinite(error.residual)
+        # The residual is the squared multiplier movement that failed the
+        # stopping test, so it must exceed the (tiny) threshold's bar.
+        assert error.residual > 0.0
+
+    def test_non_strict_returns_converged_false_instead_of_raising(self):
+        # Same budget-starved configuration as the strict test: with
+        # strict=False the solver must hand back its best effort.
+        solver = DualDecompositionSolver(max_iterations=3, threshold=1e-12)
+        solution = solver.solve(make_problem(3))
+        assert solution.converged is False
+        assert solution.iterations == 3
+        check_feasible(make_problem(3), solution.allocation)
+
     def test_non_strict_returns_best_effort(self):
         solver = DualDecompositionSolver(max_iterations=2)
         solution = solver.solve(make_problem(3))

@@ -3,16 +3,27 @@
 import pytest
 
 from repro.utils.errors import (
+    AllocationFailedError,
+    CheckpointError,
     ConfigurationError,
     ConvergenceError,
     InfeasibleProblemError,
+    NumericalError,
     ReproError,
 )
 
 
 def test_all_derive_from_repro_error():
-    for exc_type in (ConfigurationError, ConvergenceError, InfeasibleProblemError):
+    for exc_type in (ConfigurationError, ConvergenceError,
+                     InfeasibleProblemError, NumericalError,
+                     AllocationFailedError, CheckpointError):
         assert issubclass(exc_type, ReproError)
+
+
+def test_allocation_failed_error_carries_events():
+    err = AllocationFailedError("all failed", events=("a", "b"))
+    assert err.events == ("a", "b")
+    assert AllocationFailedError("no events").events == ()
 
 
 def test_configuration_error_is_value_error():
