@@ -1,0 +1,64 @@
+"""Serial vs parallel wall-clock on a fixed Monte-Carlo sweep.
+
+Times the same 10-replication sweep through the SerialExecutor and
+through a 4-worker ParallelExecutor, verifies the two produce
+bit-identical results, and records the speedup.  The >= 2x speedup
+assertion only arms on machines with at least 4 cores -- on smaller
+boxes the numbers are still recorded (process-pool overhead can even be
+a net win there thanks to overlap, but it is not guaranteed).
+"""
+
+import json
+import os
+import time
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_SEED, report
+from repro.experiments.results_io import sweep_to_dict
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.sim.runner import sweep
+
+#: The fixed sweep: 2 points x 2 schemes x 10 replications = 40 cells.
+PARALLEL_RUNS = 10
+PARALLEL_JOBS = 4
+SWEEP_VALUES = (6, 8)
+SWEEP_SCHEMES = ("proposed-fast", "heuristic1")
+
+
+def timed_sweep(jobs):
+    config = single_fbs_scenario(n_gops=BENCH_GOPS, seed=BENCH_SEED)
+    start = time.perf_counter()
+    result = sweep(config, "n_channels", list(SWEEP_VALUES),
+                   list(SWEEP_SCHEMES), n_runs=PARALLEL_RUNS, jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+def serial_vs_parallel():
+    serial_result, serial_seconds = timed_sweep(1)
+    parallel_result, parallel_seconds = timed_sweep(PARALLEL_JOBS)
+    identical = (json.dumps(sweep_to_dict(serial_result), sort_keys=True)
+                 == json.dumps(sweep_to_dict(parallel_result), sort_keys=True))
+    return serial_seconds, parallel_seconds, identical
+
+
+def test_bench_parallel_speedup(benchmark):
+    serial_s, parallel_s, identical = benchmark.pedantic(
+        serial_vs_parallel, rounds=1, iterations=1)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    lines = [
+        f"cells            : {len(SWEEP_VALUES) * len(SWEEP_SCHEMES) * PARALLEL_RUNS}"
+        f" ({PARALLEL_RUNS} replications/point)",
+        f"serial (jobs=1)  : {serial_s:8.2f} s",
+        f"parallel (jobs={PARALLEL_JOBS}): {parallel_s:8.2f} s",
+        f"speedup          : {speedup:8.2f}x on {cores} core(s)",
+        f"bit-identical    : {identical}",
+    ]
+    report("Parallel execution: serial vs 4-worker process pool",
+           "\n".join(lines))
+    # Determinism is unconditional; the speedup target only arms when the
+    # hardware can actually run 4 workers at once.
+    assert identical
+    if cores >= PARALLEL_JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at {PARALLEL_JOBS} workers on "
+            f"{cores} cores, measured {speedup:.2f}x")

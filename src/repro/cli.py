@@ -4,6 +4,7 @@ Usage (after ``pip install -e .``)::
 
     python -m repro fig3 --runs 10
     python -m repro fig4a
+    python -m repro fig4b --runs 10 --jobs 4 --progress
     python -m repro fig6a --runs 5 --gops 2
     python -m repro simulate --scenario interfering --scheme heuristic2
     python -m repro all --runs 5
@@ -53,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint completed (scheme, point, run) "
                             "cells to FILE and resume from it on restart "
                             "(sweep figures only)")
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for Monte-Carlo cells "
+                            "(default 1 = serial; results are "
+                            "bit-identical at any N)")
+        p.add_argument("--progress", action="store_true",
+                       help="live per-cell progress on stderr plus an "
+                            "end-of-run timing report (sweep figures only)")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -118,9 +126,26 @@ def _health_lines(result) -> List[str]:
     return lines
 
 
+def _make_tracker(args, name: str):
+    """A stderr ProgressTracker when --progress was given, else None."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.exec.progress import ProgressTracker
+    return ProgressTracker(stream=sys.stderr, label=name)
+
+
+def _timing_lines(tracker) -> List[str]:
+    """End-of-run timing report lines (empty without --progress)."""
+    if tracker is None:
+        return []
+    return ["", _heading("Timing report"), tracker.report().format()]
+
+
 def _run_figure(name: str, args) -> str:
+    jobs = getattr(args, "jobs", 1)
     if name == "fig3":
-        rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed)
+        rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
+                        jobs=jobs)
         return "\n".join(_maybe_save(rows, args) + [
             _heading("Fig. 3: per-user Y-PSNR (dB), single FBS"),
             format_fig3(rows),
@@ -128,41 +153,52 @@ def _run_figure(name: str, args) -> str:
             f"{max_improvement_db(rows):.2f} dB",
         ])
     checkpoint = getattr(args, "checkpoint", None)
+    tracker = _make_tracker(args, name)
     if name == "fig4b":
         result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                           checkpoint_path=checkpoint)
+                           checkpoint_path=checkpoint, jobs=jobs,
+                           progress=tracker)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
             format_sweep(result, value_format="M={}"),
-        ] + _health_lines(result) + _maybe_chart(result, args))
+        ] + _health_lines(result) + _maybe_chart(result, args)
+          + _timing_lines(tracker))
     if name == "fig4c":
         result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                           checkpoint_path=checkpoint)
+                           checkpoint_path=checkpoint, jobs=jobs,
+                           progress=tracker)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
             format_sweep(result, value_format="eta={}"),
-        ] + _health_lines(result) + _maybe_chart(result, args))
+        ] + _health_lines(result) + _maybe_chart(result, args)
+          + _timing_lines(tracker))
     if name == "fig6a":
         result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                           checkpoint_path=checkpoint)
+                           checkpoint_path=checkpoint, jobs=jobs,
+                           progress=tracker)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
             format_sweep(result, upper_bound=True, value_format="eta={}"),
-        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
+          + _timing_lines(tracker))
     if name == "fig6b":
         result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                           checkpoint_path=checkpoint)
+                           checkpoint_path=checkpoint, jobs=jobs,
+                           progress=tracker)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
             format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
-        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
+          + _timing_lines(tracker))
     if name == "fig6c":
         result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                           checkpoint_path=checkpoint)
+                           checkpoint_path=checkpoint, jobs=jobs,
+                           progress=tracker)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
             format_sweep(result, upper_bound=True, value_format="B0={}"),
-        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True))
+        ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
+          + _timing_lines(tracker))
     raise ValueError(f"unknown figure {name!r}")
 
 
@@ -170,7 +206,8 @@ def _run_simulate(args) -> str:
     builder = (single_fbs_scenario if args.scenario == "single"
                else interfering_fbs_scenario)
     config = builder(n_gops=args.gops, seed=args.seed, scheme=args.scheme)
-    summary = MonteCarloRunner(config, n_runs=args.runs).summary()
+    summary = MonteCarloRunner(config, n_runs=args.runs,
+                               jobs=getattr(args, "jobs", 1)).summary()
     lines = [_heading(f"{args.scenario} scenario, scheme={args.scheme}")]
     for user_id, ci in sorted(summary.per_user_psnr.items()):
         lines.append(f"user {user_id}: {ci}")

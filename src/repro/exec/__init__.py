@@ -1,0 +1,43 @@
+"""Parallel execution subsystem: plan/execute split for Monte-Carlo work.
+
+A figure sweep is an embarrassingly parallel grid of independent
+``(scheme, sweep point, replication)`` cells whose seeds are all derived
+from one root seed.  This package separates *planning* -- flattening a
+sweep (or a single Monte-Carlo campaign) into a deterministic list of
+picklable :class:`~repro.exec.plan.Cell` work items -- from *execution*,
+a swappable :class:`~repro.exec.executor.Executor` strategy
+(:class:`~repro.exec.executor.SerialExecutor` in-process,
+:class:`~repro.exec.executor.ParallelExecutor` across a process pool).
+
+Because every cell's randomness is derived from ``(root seed, run
+index)`` alone and results are assembled by cell key rather than
+completion order, parallel execution is bit-identical to serial
+execution -- the paired comparisons of the paper's figures survive
+unchanged at any worker count.
+"""
+
+from repro.exec.executor import (
+    CellOutcome,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.exec.plan import Cell, SweepPlan, ensure_picklable, plan_campaign, plan_sweep
+from repro.exec.progress import CellTiming, ProgressTracker, TimingReport
+
+__all__ = [
+    "Cell",
+    "CellOutcome",
+    "CellTiming",
+    "Executor",
+    "ParallelExecutor",
+    "ProgressTracker",
+    "SerialExecutor",
+    "SweepPlan",
+    "TimingReport",
+    "ensure_picklable",
+    "make_executor",
+    "plan_campaign",
+    "plan_sweep",
+]

@@ -1,0 +1,215 @@
+"""Execution strategies for planned Monte-Carlo cells.
+
+An :class:`Executor` turns a sequence of :class:`~repro.exec.plan.Cell`
+work items into a stream of :class:`CellOutcome` records.  Outcomes are
+yielded *as they complete* (completion order is unspecified for the
+parallel executor); callers assemble results by cell key, never by
+arrival order, which is what makes parallel runs bit-identical to serial
+ones.
+
+Isolation semantics are inherited from
+:func:`repro.sim.runner.execute_run`: a replication that raises a
+:class:`~repro.utils.errors.ReproError` (after its fresh-seed retry) is
+returned as a :class:`~repro.sim.metrics.FailedRun`, and programming
+errors propagate unchanged.  The parallel executor adds one more layer:
+when a worker *process* dies (segfault, OOM kill), the affected cells
+are quarantined -- each re-runs alone in a fresh single-worker pool --
+and a cell that kills its worker again is recorded as a ``FailedRun``
+with ``error_type="WorkerCrashed"`` instead of poisoning the whole
+sweep.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exec.plan import Cell, ensure_picklable
+from repro.sim import runner as _runner
+from repro.sim.metrics import FailedRun, RunMetrics
+from repro.utils.errors import ConfigurationError
+
+#: Chunks per worker the default chunk size aims for; small enough to
+#: load-balance scheme-dependent cell costs, large enough to amortise
+#: per-task dispatch overhead.
+_CHUNKS_PER_WORKER = 4
+
+#: Dispatch attempts before a pool-killing cell is written off.
+_MAX_DISPATCH_ATTEMPTS = 2
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """One completed cell: its work item, result, and wall-clock cost.
+
+    Attributes
+    ----------
+    cell:
+        The work item that was executed.
+    result:
+        :class:`RunMetrics` for a surviving replication or
+        :class:`FailedRun` for one lost after its retry.
+    seconds:
+        Wall-clock execution time of the cell, measured inside the
+        process that ran it (so pool queueing time is excluded).
+    """
+
+    cell: Cell
+    result: Union[RunMetrics, FailedRun]
+    seconds: float
+
+
+def _execute_cell(cell: Cell) -> Tuple[str, Union[RunMetrics, FailedRun], float]:
+    """Run one cell and return ``(key, result, seconds)``.
+
+    Module-level so process-pool workers can resolve it by qualified
+    name under any multiprocessing start method.
+    """
+    start = time.perf_counter()
+    # Resolved through the module so test-time interception of
+    # repro.sim.runner.execute_run keeps working under every executor.
+    metrics, failure = _runner.execute_run(cell.config, cell.run_index)
+    result = metrics if metrics is not None else failure
+    return cell.key, result, time.perf_counter() - start
+
+
+def _run_chunk(chunk: Sequence[Cell]
+               ) -> List[Tuple[str, Union[RunMetrics, FailedRun], float]]:
+    """Worker entry point: execute a chunk of cells back-to-back."""
+    return [_execute_cell(cell) for cell in chunk]
+
+
+class Executor(ABC):
+    """Strategy interface: execute planned cells, stream their outcomes."""
+
+    @abstractmethod
+    def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
+        """Execute every cell, yielding a :class:`CellOutcome` per cell.
+
+        Yield order is an implementation detail; every input cell is
+        represented exactly once in the output stream.
+        """
+
+
+class SerialExecutor(Executor):
+    """Execute cells one at a time in the calling process.
+
+    The reference implementation: no pickling requirements, no
+    subprocess overhead, results streamed in plan order.
+    """
+
+    def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
+        for cell in cells:
+            _, result, seconds = _execute_cell(cell)
+            yield CellOutcome(cell=cell, result=result, seconds=seconds)
+
+
+class ParallelExecutor(Executor):
+    """Execute cells across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count (default: every available core).
+    chunk_size:
+        Cells per dispatched task; defaults to roughly
+        ``len(cells) / (jobs * 4)`` so stragglers can be load-balanced
+        while dispatch overhead stays amortised.
+
+    Notes
+    -----
+    Cells are validated as picklable up front
+    (:func:`~repro.exec.plan.ensure_picklable`), so a stateful
+    ``fault_plan`` fails with a clear :class:`ConfigurationError` rather
+    than an opaque mid-flight pickling error.  Results arrive in
+    completion order; callers must key off :attr:`CellOutcome.cell`.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 chunk_size: Optional[int] = None) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+
+    def _chunks(self, cells: Sequence[Cell]) -> List[List[Cell]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(cells) / (self.jobs * _CHUNKS_PER_WORKER)))
+        return [list(cells[i:i + size]) for i in range(0, len(cells), size)]
+
+    def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
+        cells = list(cells)
+        if not cells:
+            return
+        ensure_picklable(cells)
+        by_key = {cell.key: cell for cell in cells}
+        suspects: List[Cell] = []
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {pool.submit(_run_chunk, chunk): chunk
+                       for chunk in self._chunks(cells)}
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    results = future.result()
+                except BrokenProcessPool:
+                    # A worker died mid-flight.  Every not-yet-done future
+                    # fails with the pool, so the culprit cannot be told
+                    # apart from innocent chunk-mates here -- quarantine
+                    # all of them below.
+                    suspects.extend(chunk)
+                    continue
+                for key, result, seconds in results:
+                    yield CellOutcome(cell=by_key[key], result=result,
+                                      seconds=seconds)
+        for cell in suspects:
+            yield self._run_quarantined(cell)
+
+    def _run_quarantined(self, cell: Cell) -> CellOutcome:
+        """Re-run one crash suspect alone in its own single-worker pool.
+
+        Running solo makes crash attribution exact: if this pool breaks
+        too, *this* cell kills workers, and it is written off as a
+        ``FailedRun`` instead of being retried forever or taking other
+        cells down with it.
+        """
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_run_chunk, [cell])
+            try:
+                [(_, result, seconds)] = future.result()
+            except BrokenProcessPool:
+                return CellOutcome(
+                    cell=cell,
+                    result=FailedRun(
+                        run_index=cell.run_index,
+                        error_type="WorkerCrashed",
+                        error=f"worker process died executing cell "
+                              f"{cell.key} (twice: chunked and quarantined)",
+                        attempts=_MAX_DISPATCH_ATTEMPTS,
+                    ),
+                    seconds=0.0)
+        return CellOutcome(cell=cell, result=result, seconds=seconds)
+
+
+def make_executor(jobs: Optional[int] = None) -> Executor:
+    """Map a ``--jobs`` value onto an executor strategy.
+
+    ``None`` or ``1`` selects :class:`SerialExecutor`; anything larger
+    selects a :class:`ParallelExecutor` with that worker count.
+    """
+    if jobs is None or jobs == 1:
+        return SerialExecutor()
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return ParallelExecutor(jobs)

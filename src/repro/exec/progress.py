@@ -1,0 +1,183 @@
+"""Per-cell timing telemetry and progress reporting for executors.
+
+A figure-scale sweep is hundreds of cells over minutes of wall clock;
+this module gives the operator a live line per completed cell and an
+end-of-sweep timing report (wall clock vs. summed cell time, effective
+parallelism, per-scheme cost, slowest cells) without the simulation code
+knowing anything about terminals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.exec.executor import CellOutcome
+from repro.sim.metrics import RunMetrics
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """Telemetry of one executed cell.
+
+    Attributes
+    ----------
+    key:
+        Canonical ``scheme|point|run`` cell key.
+    scheme, point_index, run_index:
+        The cell's coordinates in the sweep grid.
+    seconds:
+        Wall-clock execution time inside the worker.
+    ok:
+        ``True`` for a surviving replication, ``False`` for a
+        :class:`~repro.sim.metrics.FailedRun`.
+    """
+
+    key: str
+    scheme: str
+    point_index: int
+    run_index: int
+    seconds: float
+    ok: bool
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """End-of-sweep timing summary.
+
+    Attributes
+    ----------
+    timings:
+        One :class:`CellTiming` per executed cell.
+    wall_seconds:
+        Parent-side wall clock from tracker start to the last observed
+        cell.
+    n_cached:
+        Cells satisfied from a checkpoint instead of being executed.
+    """
+
+    timings: Tuple[CellTiming, ...]
+    wall_seconds: float
+    n_cached: int = 0
+
+    @property
+    def n_cells(self) -> int:
+        """Cells actually executed (excludes checkpointed ones)."""
+        return len(self.timings)
+
+    @property
+    def n_failed(self) -> int:
+        """Executed cells that ended as :class:`FailedRun`."""
+        return sum(1 for t in self.timings if not t.ok)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Summed per-cell execution time across all workers."""
+        return sum(t.seconds for t in self.timings)
+
+    @property
+    def effective_parallelism(self) -> float:
+        """Busy time over wall time: ~1.0 serial, ~N on N busy workers."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.busy_seconds / self.wall_seconds
+
+    def per_scheme_seconds(self) -> Dict[str, float]:
+        """Summed cell time by scheme (which schemes dominate the bill)."""
+        totals: Dict[str, float] = {}
+        for timing in self.timings:
+            totals[timing.scheme] = totals.get(timing.scheme, 0.0) + timing.seconds
+        return totals
+
+    def slowest(self, n: int = 3) -> List[CellTiming]:
+        """The ``n`` most expensive cells, most expensive first."""
+        return sorted(self.timings, key=lambda t: t.seconds, reverse=True)[:n]
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"cells executed : {self.n_cells}"
+            + (f" ({self.n_failed} failed)" if self.n_failed else "")
+            + (f", {self.n_cached} resumed from checkpoint"
+               if self.n_cached else ""),
+            f"wall clock     : {self.wall_seconds:.2f} s",
+            f"cell time      : {self.busy_seconds:.2f} s "
+            f"({self.effective_parallelism:.2f}x effective parallelism)",
+        ]
+        if self.wall_seconds > 0.0 and self.n_cells:
+            lines.append(
+                f"throughput     : {self.n_cells / self.wall_seconds:.2f} cells/s")
+        scheme_totals = self.per_scheme_seconds()
+        if scheme_totals:
+            lines.append("per scheme     : " + "; ".join(
+                f"{scheme} {seconds:.2f} s"
+                for scheme, seconds in sorted(scheme_totals.items())))
+        slowest = self.slowest()
+        if slowest:
+            lines.append("slowest cells  : " + "; ".join(
+                f"{t.key} {t.seconds:.2f} s" for t in slowest))
+        return "\n".join(lines)
+
+
+class ProgressTracker:
+    """Collect per-cell telemetry and optionally narrate it live.
+
+    Parameters
+    ----------
+    stream:
+        Where live progress lines go (e.g. ``sys.stderr``); ``None``
+        collects telemetry silently.
+    label:
+        Prefix of the live lines (useful when several sweeps share a
+        terminal).
+
+    The tracker is duck-typed from the runner's side: anything with
+    ``begin(total, cached=0)`` and ``observe(outcome)`` can be passed as
+    ``progress=`` to :func:`repro.sim.runner.sweep`.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 label: str = "sweep") -> None:
+        self.stream = stream
+        self.label = label
+        self._timings: List[CellTiming] = []
+        self._total: Optional[int] = None
+        self._n_cached = 0
+        self._start = time.perf_counter()
+        self._last = self._start
+
+    def begin(self, total: int, cached: int = 0) -> None:
+        """Announce the number of cells to execute (and cells resumed)."""
+        self._total = int(total)
+        self._n_cached = int(cached)
+        self._start = time.perf_counter()
+        self._last = self._start
+        if self.stream is not None and cached:
+            self.stream.write(
+                f"[{self.label}] resuming: {cached} cell(s) already "
+                f"checkpointed, {total} to run\n")
+            self.stream.flush()
+
+    def observe(self, outcome: CellOutcome) -> None:
+        """Record one completed cell (called by the runner per outcome)."""
+        cell = outcome.cell
+        ok = isinstance(outcome.result, RunMetrics)
+        self._timings.append(CellTiming(
+            key=cell.key, scheme=cell.scheme, point_index=cell.point_index,
+            run_index=cell.run_index, seconds=outcome.seconds, ok=ok))
+        self._last = time.perf_counter()
+        if self.stream is not None:
+            done = len(self._timings)
+            total = self._total if self._total is not None else "?"
+            status = "ok" if ok else "FAILED"
+            self.stream.write(
+                f"[{self.label}] {done}/{total} {cell.key} {status} "
+                f"{outcome.seconds:.2f}s\n")
+            self.stream.flush()
+
+    def report(self) -> TimingReport:
+        """The end-of-sweep timing report for everything observed so far."""
+        wall = max(0.0, self._last - self._start)
+        return TimingReport(timings=tuple(self._timings), wall_seconds=wall,
+                            n_cached=self._n_cached)

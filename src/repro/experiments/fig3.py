@@ -8,7 +8,7 @@ up to 4.3 dB -- and balances quality across users far better.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scenarios import single_fbs_scenario
 from repro.sim.runner import MonteCarloRunner
@@ -38,16 +38,19 @@ class Fig3Row:
 
 
 def run_fig3(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
-             schemes: Sequence[str] = FIG3_SCHEMES) -> List[Fig3Row]:
+             schemes: Sequence[str] = FIG3_SCHEMES,
+             jobs: Optional[int] = None) -> List[Fig3Row]:
     """Regenerate Fig. 3's data.
 
     Returns one row per scheme with per-user confidence intervals; all
-    schemes share root seeds (paired comparison).
+    schemes share root seeds (paired comparison).  ``jobs`` spreads each
+    scheme's replications over worker processes (see :mod:`repro.exec`);
+    the rows are identical at every worker count.
     """
     rows = []
     for scheme in schemes:
         config = single_fbs_scenario(n_gops=n_gops, seed=seed, scheme=scheme)
-        summary = MonteCarloRunner(config, n_runs=n_runs).summary()
+        summary = MonteCarloRunner(config, n_runs=n_runs, jobs=jobs).summary()
         rows.append(Fig3Row(
             scheme=scheme,
             per_user_psnr=summary.per_user_psnr,

@@ -80,29 +80,36 @@ def run_fig4a(*, seed: int = 7, step_size: float = 0.004,
 def run_fig4b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               channels: Sequence[int] = FIG4B_CHANNELS,
               schemes: Sequence[str] = FIG4_SCHEMES,
-              checkpoint_path=None) -> SweepResult:
+              checkpoint_path=None, jobs=None,
+              progress=None) -> SweepResult:
     """Regenerate Fig. 4(b): PSNR vs number of licensed channels.
 
-    ``checkpoint_path`` enables per-cell checkpoint/resume (see
-    :func:`repro.sim.runner.sweep`).
+    ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
+    multi-process execution with bit-identical results (see
+    :func:`repro.sim.runner.sweep`); ``progress`` takes a
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "n_channels", list(channels), schemes, n_runs=n_runs,
-                 checkpoint_path=checkpoint_path)
+                 checkpoint_path=checkpoint_path, jobs=jobs,
+                 progress=progress)
 
 
 def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               utilizations: Sequence[float] = FIG4C_UTILIZATIONS,
               schemes: Sequence[str] = FIG4_SCHEMES,
-              checkpoint_path=None) -> SweepResult:
+              checkpoint_path=None, jobs=None,
+              progress=None) -> SweepResult:
     """Regenerate Fig. 4(c): PSNR vs channel utilisation.
 
-    ``checkpoint_path`` enables per-cell checkpoint/resume (see
-    :func:`repro.sim.runner.sweep`).
+    ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
+    multi-process execution with bit-identical results (see
+    :func:`repro.sim.runner.sweep`); ``progress`` takes a
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     result = sweep(
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
         configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)),
-        checkpoint_path=checkpoint_path)
+        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress)
     return result

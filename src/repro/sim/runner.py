@@ -13,6 +13,12 @@ over the surviving runs with an explicit ``n_failed`` count.  Parameter
 sweeps can additionally checkpoint every completed ``(scheme, sweep
 point, run)`` cell to disk (:mod:`repro.sim.checkpoint`) and resume
 after an interruption without recomputing finished cells.
+
+Execution is delegated to the plan/executor layer (:mod:`repro.exec`):
+the grid of cells is flattened into a deterministic plan and handed to a
+serial or multi-process executor (``jobs=N``).  Seeds are derived per
+cell from the root seed and results are assembled by cell key, so the
+output is bit-identical at every worker count.
 """
 
 from __future__ import annotations
@@ -80,6 +86,14 @@ class MonteCarloRunner:
         retried run uses ``SeedSequence([seed, r, attempt])``).
     n_runs:
         Number of independent replications (paper default: 10).
+    jobs:
+        Worker processes for the replications (``None``/1 = in-process
+        serial execution; see :mod:`repro.exec`).  Results are assembled
+        by replication index, so any worker count produces bit-identical
+        output.
+    executor:
+        Explicit :class:`~repro.exec.executor.Executor` strategy;
+        overrides ``jobs`` when given.
 
     Attributes
     ----------
@@ -89,11 +103,15 @@ class MonteCarloRunner:
         replication survived).
     """
 
-    def __init__(self, config: ScenarioConfig, *, n_runs: int = 10) -> None:
+    def __init__(self, config: ScenarioConfig, *, n_runs: int = 10,
+                 jobs: Optional[int] = None,
+                 executor: Optional[object] = None) -> None:
         if n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
         self.config = config
         self.n_runs = int(n_runs)
+        self.jobs = jobs
+        self._executor = executor
         self.failed_runs: List[FailedRun] = []
 
     def run_one(self, run_index: int, attempt: int = 0) -> RunMetrics:
@@ -115,14 +133,23 @@ class MonteCarloRunner:
         in :attr:`failed_runs` rather than raised.  Raises
         :class:`ReproError` only when *every* replication failed.
         """
+        from repro.exec.executor import make_executor
+        from repro.exec.plan import plan_campaign
+
+        plan = plan_campaign(self.config, self.n_runs)
+        executor = self._executor if self._executor is not None \
+            else make_executor(self.jobs)
+        by_index: Dict[int, Union[RunMetrics, FailedRun]] = {}
+        for outcome in executor.run(plan.cells):
+            by_index[outcome.cell.run_index] = outcome.result
         runs: List[RunMetrics] = []
         failures: List[FailedRun] = []
-        for run_index in range(self.n_runs):
-            metrics, failure = execute_run(self.config, run_index)
-            if metrics is not None:
-                runs.append(metrics)
+        for run_index in sorted(by_index):
+            result = by_index[run_index]
+            if isinstance(result, RunMetrics):
+                runs.append(result)
             else:
-                failures.append(failure)
+                failures.append(result)
         self.failed_runs = failures
         if not runs:
             raise ReproError(
@@ -177,9 +204,18 @@ class SweepResult:
 
 def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
           schemes: Sequence[str], *, n_runs: int = 10,
-          configure: Callable[[ScenarioConfig, object], ScenarioConfig] = None,
-          checkpoint_path: Optional[Union[str, Path]] = None) -> SweepResult:
+          configure: Optional[Callable[[ScenarioConfig, object],
+                                       ScenarioConfig]] = None,
+          checkpoint_path: Optional[Union[str, Path]] = None,
+          jobs: Optional[int] = None, executor: Optional[object] = None,
+          progress: Optional[object] = None) -> SweepResult:
     """Sweep one parameter across several schemes.
+
+    The sweep is flattened into a deterministic plan of ``(scheme, sweep
+    point, run)`` cells (:func:`repro.exec.plan.plan_sweep`) and handed
+    to an executor strategy (:mod:`repro.exec.executor`).  Per-cell seeds
+    are derived from the root seed alone and results are assembled by
+    cell key, so every worker count produces bit-identical summaries.
 
     Parameters
     ----------
@@ -197,14 +233,28 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
     configure:
         Optional hook ``(config, value) -> config`` for sweeps that touch
         more than a single attribute (e.g. utilisation sweeps also rebuild
-        ``p01``).
+        ``p01``).  Applied during planning, in this process, so it may be
+        a lambda even under parallel execution.
     checkpoint_path:
         Optional checkpoint file.  Every completed ``(scheme, sweep
-        point, run)`` cell is appended as soon as it finishes; rerunning
+        point, run)`` cell is appended as soon as it arrives; rerunning
         the same sweep with the same path resumes, recomputing only the
-        missing cells.  The file fingerprints the sweep (parameter,
-        values, schemes, ``n_runs``, root seed) and refuses to resume a
-        different one.
+        missing cells (at any ``jobs`` value -- the checkpoint is
+        executor-agnostic).  All writes happen in this process
+        (single-writer), never in workers.  The file fingerprints the
+        sweep (parameter, values, schemes, ``n_runs``, root seed) and
+        refuses to resume a different one.
+    jobs:
+        Worker processes (``None``/1 = serial in-process execution;
+        ``N > 1`` = a process pool of N workers).
+    executor:
+        Explicit :class:`~repro.exec.executor.Executor` strategy;
+        overrides ``jobs`` when given.
+    progress:
+        Optional telemetry sink (duck-typed like
+        :class:`~repro.exec.progress.ProgressTracker`): ``begin(total,
+        cached=...)`` is called once, then ``observe(outcome)`` per
+        executed cell.
 
     Notes
     -----
@@ -214,42 +264,68 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
     their retry) are excluded from each point's summary and counted in
     its ``n_failed``.
     """
+    from repro.exec.executor import make_executor
+    from repro.exec.plan import plan_sweep
+
+    plan = plan_sweep(base_config, parameter, values, schemes,
+                      n_runs=n_runs, configure=configure)
     checkpoint = None
     if checkpoint_path is not None:
         checkpoint = SweepCheckpoint(
             checkpoint_path, parameter=parameter, values=values,
             schemes=schemes, n_runs=n_runs, seed=base_config.seed)
 
-    result = SweepResult(parameter=parameter, values=list(values))
-    for scheme in schemes:
-        result.summaries[scheme] = []
-    for point_index, value in enumerate(values):
-        if configure is not None:
-            point_config = configure(base_config, value)
+    if executor is None:
+        executor = make_executor(jobs)
+
+    completed: Dict[str, Union[RunMetrics, FailedRun]] = {}
+    pending = []
+    for cell in plan.cells:
+        cached = checkpoint.get(cell.key) if checkpoint is not None else None
+        if cached is not None:
+            completed[cell.key] = cached
         else:
-            point_config = base_config.replace(**{parameter: value})
-        for scheme in schemes:
-            scheme_config = point_config.with_scheme(scheme)
+            pending.append(cell)
+
+    if progress is not None and hasattr(progress, "begin"):
+        progress.begin(len(pending), cached=len(completed))
+    for outcome in executor.run(pending):
+        # Single-writer checkpointing: results stream back to the parent
+        # and only the parent touches the file, as soon as each arrives.
+        if checkpoint is not None:
+            checkpoint.record(outcome.cell.key, outcome.result)
+        completed[outcome.cell.key] = outcome.result
+        if progress is not None and hasattr(progress, "observe"):
+            progress.observe(outcome)
+
+    return _assemble_sweep(plan, completed)
+
+
+def _assemble_sweep(plan, completed) -> SweepResult:
+    """Fold per-cell results into a :class:`SweepResult`, by cell key.
+
+    Assembly order is the plan's deterministic grid order -- never the
+    executors' completion order -- which is what makes parallel runs
+    bit-identical to serial ones.
+    """
+    result = SweepResult(parameter=plan.parameter, values=list(plan.values))
+    for scheme in plan.schemes:
+        result.summaries[scheme] = []
+    for point_index, value in enumerate(plan.values):
+        for scheme in plan.schemes:
             runs: List[RunMetrics] = []
             failures: List[FailedRun] = []
-            for run_index in range(n_runs):
-                cell = None
+            for run_index in range(plan.n_runs):
                 key = SweepCheckpoint.cell_key(scheme, point_index, run_index)
-                if checkpoint is not None:
-                    cell = checkpoint.get(key)
-                if cell is None:
-                    metrics, failure = execute_run(scheme_config, run_index)
-                    cell = metrics if metrics is not None else failure
-                    if checkpoint is not None:
-                        checkpoint.record(key, cell)
+                cell = completed[key]
                 if isinstance(cell, RunMetrics):
                     runs.append(cell)
                 else:
                     failures.append(cell)
             if not runs:
                 raise ReproError(
-                    f"all {n_runs} replications failed for scheme "
-                    f"{scheme!r} at {parameter}={value!r}; last error: "
+                    f"all {plan.n_runs} replications failed for scheme "
+                    f"{scheme!r} at {plan.parameter}={value!r}; last error: "
                     f"{failures[-1].error_type}: {failures[-1].error}")
             result.summaries[scheme].append(
                 summarize_runs(runs, n_failed=len(failures)))

@@ -1,0 +1,106 @@
+"""Tests for per-cell timing telemetry and the timing report."""
+
+import io
+
+from repro.exec.executor import CellOutcome, SerialExecutor
+from repro.exec.plan import Cell, plan_campaign
+from repro.exec.progress import CellTiming, ProgressTracker, TimingReport
+from repro.sim.metrics import FailedRun
+
+
+def make_outcome(config, *, scheme="heuristic1", run_index=0, seconds=0.5,
+                 failed=False):
+    cell = Cell(scheme=scheme, point_index=0, run_index=run_index,
+                config=config.with_scheme(scheme))
+    if failed:
+        result = FailedRun(run_index=run_index, error_type="NumericalError",
+                           error="injected", attempts=2)
+    else:
+        result = next(iter(SerialExecutor().run([cell]))).result
+    return CellOutcome(cell=cell, result=result, seconds=seconds)
+
+
+class TestProgressTracker:
+    def test_counts_and_report(self, single_config):
+        tracker = ProgressTracker()
+        tracker.begin(3, cached=2)
+        tracker.observe(make_outcome(single_config, run_index=0, seconds=0.2))
+        tracker.observe(make_outcome(single_config, run_index=1, seconds=0.3,
+                                     failed=True))
+        report = tracker.report()
+        assert report.n_cells == 2
+        assert report.n_failed == 1
+        assert report.n_cached == 2
+        assert abs(report.busy_seconds - 0.5) < 1e-12
+
+    def test_live_lines_reach_the_stream(self, single_config):
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream, label="t")
+        tracker.begin(2, cached=1)
+        tracker.observe(make_outcome(single_config, run_index=0))
+        tracker.observe(make_outcome(single_config, run_index=1, failed=True))
+        text = stream.getvalue()
+        assert "resuming: 1 cell(s)" in text
+        assert "[t] 1/2 heuristic1|0|0 ok" in text
+        assert "[t] 2/2 heuristic1|0|1 FAILED" in text
+
+    def test_silent_without_stream(self, single_config):
+        tracker = ProgressTracker()
+        tracker.observe(make_outcome(single_config))  # must not raise
+        assert tracker.report().n_cells == 1
+
+    def test_duck_typing_contract_with_sweep(self, single_config, tmp_path):
+        """sweep(progress=...) must feed the tracker every executed cell."""
+        from repro.sim.runner import sweep
+        tracker = ProgressTracker()
+        sweep(single_config, "n_channels", [4], ["heuristic1"], n_runs=2,
+              progress=tracker)
+        report = tracker.report()
+        assert report.n_cells == 2
+        assert report.n_cached == 0
+
+    def test_resumed_cells_counted_as_cached(self, single_config, tmp_path):
+        from repro.sim.runner import sweep
+        path = tmp_path / "sweep.ckpt"
+        sweep(single_config, "n_channels", [4], ["heuristic1"], n_runs=2,
+              checkpoint_path=path)
+        tracker = ProgressTracker()
+        sweep(single_config, "n_channels", [4], ["heuristic1"], n_runs=2,
+              checkpoint_path=path, progress=tracker)
+        report = tracker.report()
+        assert report.n_cells == 0
+        assert report.n_cached == 2
+
+
+class TestTimingReport:
+    def _report(self):
+        timings = (
+            CellTiming(key="a|0|0", scheme="a", point_index=0, run_index=0,
+                       seconds=1.0, ok=True),
+            CellTiming(key="a|0|1", scheme="a", point_index=0, run_index=1,
+                       seconds=3.0, ok=False),
+            CellTiming(key="b|0|0", scheme="b", point_index=0, run_index=0,
+                       seconds=2.0, ok=True),
+        )
+        return TimingReport(timings=timings, wall_seconds=2.0, n_cached=4)
+
+    def test_aggregates(self):
+        report = self._report()
+        assert report.n_cells == 3
+        assert report.n_failed == 1
+        assert report.busy_seconds == 6.0
+        assert report.effective_parallelism == 3.0
+        assert report.per_scheme_seconds() == {"a": 4.0, "b": 2.0}
+        assert [t.key for t in report.slowest(2)] == ["a|0|1", "b|0|0"]
+
+    def test_format_mentions_everything(self):
+        text = self._report().format()
+        assert "3" in text and "1 failed" in text
+        assert "4 resumed from checkpoint" in text
+        assert "3.00x effective parallelism" in text
+        assert "a|0|1" in text  # slowest cell named
+
+    def test_zero_wall_clock_is_safe(self):
+        report = TimingReport(timings=(), wall_seconds=0.0)
+        assert report.effective_parallelism == 0.0
+        assert "wall clock" in report.format()
