@@ -61,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--progress", action="store_true",
                        help="live per-cell progress on stderr plus an "
                             "end-of-run timing report (sweep figures only)")
+        p.add_argument("--profile", action="store_true",
+                       help="print per-phase engine timings (sensing/"
+                            "access/allocation/transmission) with the "
+                            "timing report; implies collecting telemetry "
+                            "without the live progress lines")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -127,11 +132,16 @@ def _health_lines(result) -> List[str]:
 
 
 def _make_tracker(args, name: str):
-    """A stderr ProgressTracker when --progress was given, else None."""
-    if not getattr(args, "progress", False):
+    """A ProgressTracker when --progress or --profile was given, else None.
+
+    ``--progress`` narrates per-cell lines to stderr; ``--profile`` alone
+    collects telemetry silently and only prints the final report.
+    """
+    progress = getattr(args, "progress", False)
+    if not progress and not getattr(args, "profile", False):
         return None
     from repro.exec.progress import ProgressTracker
-    return ProgressTracker(stream=sys.stderr, label=name)
+    return ProgressTracker(stream=sys.stderr if progress else None, label=name)
 
 
 def _timing_lines(tracker) -> List[str]:
@@ -221,6 +231,10 @@ def _run_simulate(args) -> str:
                  f"(solver fallbacks / sensing outages)")
     if args.scheme.startswith("proposed") and args.scenario == "interfering":
         lines.append(f"eq. (23) bound : {summary.upper_bound_psnr}")
+    if getattr(args, "profile", False) and summary.phase_seconds:
+        lines.append("phase seconds  : " + "; ".join(
+            f"{phase} {seconds:.2f} s"
+            for phase, seconds in summary.phase_seconds.items()))
     return "\n".join(lines)
 
 

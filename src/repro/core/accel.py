@@ -1,0 +1,51 @@
+"""Global switch for the accelerated solver hot path.
+
+The per-slot allocation stack has two implementations of its inner
+numerics:
+
+* the **scalar oracle** -- the original, straight-from-the-paper code
+  (pure-Python water-filling, per-iteration helper calls in the dual
+  subgradient loop, no caching).  It is kept verbatim as the reference
+  against which everything else is validated.
+* the **accelerated path** -- numpy-vectorised water-filling breakpoint
+  scan, a compiled per-problem representation with per-group result
+  caching (:class:`repro.core.reference.CompiledSlotProblem`), and a
+  hoisted-invariant subgradient iteration kernel in
+  :mod:`repro.core.dual`.
+
+Both produce **bit-identical** results (asserted by the test suite and
+by ``benchmarks/test_bench_solver.py``); the switch exists so the
+benchmark can time one against the other and so an operator can fall
+back to the oracle when debugging numerics.  The accelerated path is on
+by default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+_ENABLED = True
+
+
+def acceleration_enabled() -> bool:
+    """Whether the accelerated solver path is active (default ``True``)."""
+    return _ENABLED
+
+
+@contextmanager
+def use_acceleration(enabled: bool):
+    """Context manager forcing the accelerated path on or off.
+
+    Used by the solver benchmark to run the scalar oracle and the
+    accelerated path on identical inputs, and by tests that assert the
+    two are bit-identical.  Not thread-safe (the flag is process-global);
+    the simulation workers each run in their own process, so the switch
+    composes fine with ``--jobs``.
+    """
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = previous

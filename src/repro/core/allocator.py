@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro.core.dual import DualDecompositionSolver, fast_solve
+from repro.core.dual import DualDecompositionSolver, fast_solve, fast_solve_warm
 from repro.core.heuristics import EqualAllocationHeuristic, MultiuserDiversityHeuristic
 from repro.core.problem import Allocation, SlotProblem
 from repro.utils.errors import ConfigurationError
@@ -32,12 +32,20 @@ class ProposedAllocator:
         iteration.  Both solve the same convex program; the subgradient
         version is the faithful distributed protocol, the fast version is
         preferable inside parameter sweeps.
+    warm_start:
+        Seed each solve with the previous call's final multipliers
+        (consecutive slot problems drift slowly, so the warm dual point
+        is near-optimal).  Changes the iterate path -- solutions are
+        equal-or-better in objective, not bit-identical to cold solves.
     solver_kwargs:
         Forwarded to :class:`DualDecompositionSolver` when ``fast=False``.
     """
 
-    def __init__(self, *, fast: bool = False, **solver_kwargs) -> None:
+    def __init__(self, *, fast: bool = False, warm_start: bool = False,
+                 **solver_kwargs) -> None:
         self.fast = bool(fast)
+        self.warm_start = bool(warm_start)
+        self._warm: Dict[int, float] = {}
         self._solver = None if self.fast else DualDecompositionSolver(**solver_kwargs)
 
     @property
@@ -48,8 +56,16 @@ class ProposedAllocator:
     def allocate(self, problem: SlotProblem) -> Allocation:
         """Solve one slot problem to (near-)optimality."""
         if self.fast:
+            if self.warm_start:
+                return fast_solve_warm(problem, self._warm)
             return fast_solve(problem)
-        return self._solver.solve(problem).allocation
+        solution = self._solver.solve(
+            problem,
+            initial_multipliers=dict(self._warm) or None if self.warm_start else None)
+        if self.warm_start:
+            self._warm.clear()
+            self._warm.update(solution.multipliers)
+        return solution.allocation
 
 
 SCHEMES = ("proposed", "proposed-fast", "heuristic1", "heuristic2")

@@ -51,18 +51,25 @@ class GreedyResult:
     expected_channels:
         ``{fbs_id: G_i}`` implied by the allocation and the posteriors.
     allocation:
-        The time-share solution of problem (17) at the final ``c``.
+        The time-share solution of problem (17) at the final ``c``, or
+        ``None`` when the caller requested ``final_solve=False`` (e.g.
+        the simulation engine, which recomputes the allocation through
+        its fallback chain anyway).
     trace:
         Execution trace feeding the bounds of Section IV-C3.
     evaluations:
-        Number of ``Q`` evaluations performed (complexity accounting).
+        Number of ``Q`` evaluations actually solved (complexity
+        accounting; memo hits are excluded).
+    cache_hits:
+        ``Q`` evaluations answered from the memo instead of a solve.
     """
 
     channel_allocation: Dict[int, Set[int]]
     expected_channels: Dict[int, float]
-    allocation: Allocation
+    allocation: Optional[Allocation]
     trace: GreedyTrace
     evaluations: int = 0
+    cache_hits: int = 0
 
 
 class GreedyChannelAllocator:
@@ -82,19 +89,40 @@ class GreedyChannelAllocator:
     exhaustive_scan:
         Evaluate every candidate pair each step (the literal Table III
         loop) instead of only each FBS's best remaining channel.
+    memoize:
+        Cache ``Q`` evaluations within a slot.  ``Q`` depends on the
+        allocation matrix ``c`` only through the per-FBS sums ``G_i =
+        sum_m c_{i,m} P^A_m`` (problem (17) never sees individual
+        channels), so candidates with equal ``G`` vectors are literally
+        the same problem.  On the default (warm-started) evaluation path
+        the memo key additionally includes the current warm multipliers,
+        so a hit is by construction the same solver input -- memoized
+        runs are bit-identical to unmemoized ones.
+    warm_start:
+        Persist the evaluation warm-start multipliers *across*
+        ``allocate`` calls (consecutive slots) instead of starting each
+        slot cold.  Changes the dual iterate path, so results are no
+        longer bit-identical to cold runs (they are equal-or-better in
+        objective; see the solver benchmark).  Off by default.
     """
 
     def __init__(self, interference_graph: nx.Graph, *,
                  solver: Optional[SolverFn] = None,
                  eval_iterations: int = 150,
-                 exhaustive_scan: bool = False) -> None:
+                 exhaustive_scan: bool = False,
+                 memoize: bool = True,
+                 warm_start: bool = False) -> None:
         self.graph = interference_graph
         self.solver = solver
         self.eval_iterations = int(eval_iterations)
         self.exhaustive_scan = bool(exhaustive_scan)
+        self.memoize = bool(memoize)
+        self.warm_start = bool(warm_start)
+        self._persistent_warm: Dict[int, float] = {}
 
     def allocate(self, problem: SlotProblem, available_channels: Sequence[int],
-                 posteriors: Dict[int, float]) -> GreedyResult:
+                 posteriors: Dict[int, float], *,
+                 final_solve: bool = True) -> GreedyResult:
         """Run the greedy allocation for one slot.
 
         Parameters
@@ -107,6 +135,10 @@ class GreedyChannelAllocator:
         posteriors:
             ``{channel: P^A_m}`` fused idle posteriors for (at least) the
             available channels.
+        final_solve:
+            Solve the time-share problem at the final ``c`` (default).
+            Pass ``False`` when only the channel allocation is needed;
+            ``GreedyResult.allocation`` is then ``None``.
 
         Raises
         ------
@@ -128,31 +160,64 @@ class GreedyChannelAllocator:
         candidates: Set[Tuple[int, int]] = {
             (i, m) for i in fbs_ids for m in available_channels}
         evaluations = 0
+        cache_hits = 0
         steps: List[GreedyStep] = []
 
         def g_of(alloc: Dict[int, Set[int]]) -> Dict[int, float]:
             return {i: sum(posteriors[m] for m in channels)
                     for i, channels in alloc.items()}
 
+        # Q(c) memo (see class docstring): the key is the G vector the
+        # allocation induces -- plus, on the warm-started default path,
+        # the warm multipliers the solve would start from, which makes a
+        # hit the exact same solver input as the original evaluation.
+        memo: Dict[tuple, object] = {}
+
         if self.solver is not None:
             def q_of(alloc: Dict[int, Set[int]]) -> float:
-                nonlocal evaluations
+                nonlocal evaluations, cache_hits
+                g = g_of(alloc)
+                key = tuple(g[i] for i in fbs_ids)
+                if self.memoize:
+                    hit = memo.get(key)
+                    if hit is not None:
+                        cache_hits += 1
+                        return hit
                 evaluations += 1
-                return self.solver(problem.with_expected_channels(g_of(alloc))).objective
+                objective = self.solver(
+                    problem.with_expected_channels(g)).objective
+                if self.memoize:
+                    memo[key] = objective
+                return objective
         else:
             # Default evaluation path: a capped subgradient run per Q(c),
             # warm-started from the previous evaluation's multipliers --
             # consecutive candidate allocations differ by one channel, so
             # the dual variables barely move between evaluations.
             eval_dual = DualDecompositionSolver(max_iterations=self.eval_iterations)
-            warm: Dict[int, float] = {}
+            warm = self._persistent_warm if self.warm_start else {}
 
             def q_of(alloc: Dict[int, Set[int]]) -> float:
-                nonlocal evaluations
-                evaluations += 1
+                nonlocal evaluations, cache_hits
+                g = g_of(alloc)
+                if self.memoize:
+                    key = (tuple(g[i] for i in fbs_ids),
+                           tuple(sorted(warm.items())))
+                    hit = memo.get(key)
+                    if hit is not None:
+                        cache_hits += 1
+                        objective, multipliers = hit
+                        # Replay the original evaluation's effect on the
+                        # warm state so subsequent solves are unchanged.
+                        warm.update(multipliers)
+                        return objective
                 solution = eval_dual.solve(
-                    problem.with_expected_channels(g_of(alloc)),
+                    problem.with_expected_channels(g),
                     initial_multipliers=warm or None)
+                evaluations += 1
+                if self.memoize:
+                    memo[key] = (solution.allocation.objective,
+                                 dict(solution.multipliers))
                 warm.update(solution.multipliers)
                 return solution.allocation.objective
 
@@ -209,8 +274,10 @@ class GreedyChannelAllocator:
                 candidates.discard(pair)
 
         expected = g_of(allocation_map)
-        final_solver = self.solver if self.solver is not None else fast_solve
-        final_allocation = final_solver(problem.with_expected_channels(expected))
+        final_allocation = None
+        if final_solve:
+            final_solver = self.solver if self.solver is not None else fast_solve
+            final_allocation = final_solver(problem.with_expected_channels(expected))
         trace = GreedyTrace(steps=tuple(steps), q_empty=q_empty, q_final=q_current)
         return GreedyResult(
             channel_allocation=allocation_map,
@@ -218,6 +285,7 @@ class GreedyChannelAllocator:
             allocation=final_allocation,
             trace=trace,
             evaluations=evaluations,
+            cache_hits=cache_hits,
         )
 
 

@@ -95,7 +95,7 @@ def plan_sweep(base_config: ScenarioConfig, parameter: str,
         raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
     if not schemes:
         raise ConfigurationError("schemes must be non-empty")
-    if not values:
+    if len(values) == 0:  # len(), not truthiness: values may be an ndarray
         raise ConfigurationError("values must be non-empty")
     cells = []
     for point_index, value in enumerate(values):

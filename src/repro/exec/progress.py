@@ -10,8 +10,8 @@ knowing anything about terminals.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, TextIO, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, TextIO, Tuple
 
 from repro.exec.executor import CellOutcome
 from repro.sim.metrics import RunMetrics
@@ -52,14 +52,21 @@ class TimingReport:
         One :class:`CellTiming` per executed cell.
     wall_seconds:
         Parent-side wall clock from tracker start to the last observed
-        cell.
+        cell (or to :meth:`ProgressTracker.report` time when nothing was
+        executed, e.g. a fully-checkpointed resume).
     n_cached:
         Cells satisfied from a checkpoint instead of being executed.
+    phase_seconds:
+        Engine wall-clock seconds per simulation phase (``sensing``,
+        ``access``, ``allocation``, ``transmission``), summed across the
+        observed cells that carried timing telemetry.  Empty when no
+        cell did (e.g. results deserialized from a checkpoint).
     """
 
     timings: Tuple[CellTiming, ...]
     wall_seconds: float
     n_cached: int = 0
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def n_cells(self) -> int:
@@ -78,8 +85,13 @@ class TimingReport:
 
     @property
     def effective_parallelism(self) -> float:
-        """Busy time over wall time: ~1.0 serial, ~N on N busy workers."""
-        if self.wall_seconds <= 0.0:
+        """Busy time over wall time: ~1.0 serial, ~N on N busy workers.
+
+        ``0.0`` when nothing was executed (a fully-checkpointed resume
+        has no busy time) or the wall clock is degenerate -- never a
+        division by zero.
+        """
+        if self.wall_seconds <= 0.0 or not self.timings:
             return 0.0
         return self.busy_seconds / self.wall_seconds
 
@@ -108,6 +120,10 @@ class TimingReport:
         if self.wall_seconds > 0.0 and self.n_cells:
             lines.append(
                 f"throughput     : {self.n_cells / self.wall_seconds:.2f} cells/s")
+        if self.phase_seconds:
+            lines.append("per phase      : " + "; ".join(
+                f"{phase} {seconds:.2f} s"
+                for phase, seconds in self.phase_seconds.items()))
         scheme_totals = self.per_scheme_seconds()
         if scheme_totals:
             lines.append("per scheme     : " + "; ".join(
@@ -144,6 +160,7 @@ class ProgressTracker:
         self._timings: List[CellTiming] = []
         self._total: Optional[int] = None
         self._n_cached = 0
+        self._phase_seconds: Dict[str, float] = {}
         self._start = time.perf_counter()
         self._last = self._start
 
@@ -166,6 +183,10 @@ class ProgressTracker:
         self._timings.append(CellTiming(
             key=cell.key, scheme=cell.scheme, point_index=cell.point_index,
             run_index=cell.run_index, seconds=outcome.seconds, ok=ok))
+        for phase, seconds in getattr(outcome.result, "phase_seconds",
+                                      {}).items():
+            self._phase_seconds[phase] = (
+                self._phase_seconds.get(phase, 0.0) + float(seconds))
         self._last = time.perf_counter()
         if self.stream is not None:
             done = len(self._timings)
@@ -177,7 +198,14 @@ class ProgressTracker:
             self.stream.flush()
 
     def report(self) -> TimingReport:
-        """The end-of-sweep timing report for everything observed so far."""
-        wall = max(0.0, self._last - self._start)
+        """The end-of-sweep timing report for everything observed so far.
+
+        With zero executed cells (a fully-checkpointed resume never calls
+        :meth:`observe`) ``self._last`` still equals ``self._start``, so
+        the wall clock is measured to *now* instead of reporting 0.00 s.
+        """
+        end = self._last if self._timings else time.perf_counter()
+        wall = max(0.0, end - self._start)
         return TimingReport(timings=tuple(self._timings), wall_seconds=wall,
-                            n_cached=self._n_cached)
+                            n_cached=self._n_cached,
+                            phase_seconds=dict(self._phase_seconds))

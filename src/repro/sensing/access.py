@@ -58,10 +58,13 @@ class AccessDecision:
     def expected_available_subset(self, channels: Sequence[int]) -> float:
         """``G_t`` restricted to ``channels`` (used for per-FBS allocations).
 
-        Channels outside ``A(t)`` contribute nothing even if listed.
+        Channels outside ``A(t)`` contribute nothing even if listed, and a
+        channel listed more than once still counts once -- ``G`` sums over
+        a channel *set*, so duplicated indices must not inflate it.
         """
         available = set(self.available_channels.tolist())
-        return float(sum(self.posteriors[m] for m in channels if m in available))
+        return float(sum(self.posteriors[m] for m in dict.fromkeys(channels)
+                         if m in available))
 
 
 class AccessPolicy:

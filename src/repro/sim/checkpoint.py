@@ -76,9 +76,27 @@ def run_metrics_from_dict(data: dict) -> RunMetrics:
     )
 
 
+def _coerce_json_value(value):
+    """One sweep value as it round-trips through JSON.
+
+    Tuples become lists, and numpy scalars/arrays (a sweep over
+    ``np.linspace(...)`` hands us ``np.float64``/``np.int64`` values)
+    become their Python equivalents -- ``json.dumps`` refuses numpy
+    types, and the header fingerprint must match the coerced form on
+    resume regardless of whether the caller passed numpy or builtins.
+    """
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    elif isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (tuple, list)):
+        return [_coerce_json_value(item) for item in value]
+    return value
+
+
 def _normalize_values(values) -> list:
     """Sweep values as they round-trip through JSON (tuples become lists)."""
-    return [list(v) if isinstance(v, (tuple, list)) else v for v in values]
+    return [_coerce_json_value(v) for v in values]
 
 
 class SweepCheckpoint:
@@ -105,7 +123,7 @@ class SweepCheckpoint:
             "values": _normalize_values(values),
             "schemes": list(schemes),
             "n_runs": int(n_runs),
-            "seed": seed,
+            "seed": _coerce_json_value(seed),
         }
         self._cells: Dict[str, Union[RunMetrics, FailedRun]] = {}
         if self.path.exists() and self.path.stat().st_size > 0:

@@ -23,13 +23,14 @@ slot executes the paper's four phases:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.core.allocator import get_allocator
-from repro.core.dual import fast_solve
+from repro.core.dual import fast_solve, fast_solve_warm
 from repro.core.bounds import GreedyTrace, tighter_upper_bound
 from repro.core.greedy import GreedyChannelAllocator
 from repro.core.heuristics import EqualAllocationHeuristic
@@ -131,7 +132,11 @@ class SimulationEngine:
             for fbs in topology.fbss
         }
 
-        self.allocator = get_allocator(config.scheme)
+        self._is_proposed = config.scheme in ("proposed", "proposed-fast")
+        allocator_kwargs = (
+            {"warm_start": True} if self._is_proposed and config.warm_start
+            else {})
+        self.allocator = get_allocator(config.scheme, **allocator_kwargs)
         # Solver fallback chain: the configured scheme first, degrading to
         # the closed-form equal-allocation heuristic (which cannot fail to
         # converge) when the primary solver misbehaves -- see
@@ -142,9 +147,18 @@ class SimulationEngine:
         self._fallback_chain = FallbackChain(chain)
         self.degradations: List[DegradationEvent] = []
         self._interfering = topology.interference_graph.number_of_edges() > 0
-        self._greedy = (GreedyChannelAllocator(topology.interference_graph)
+        self._greedy = (GreedyChannelAllocator(topology.interference_graph,
+                                               memoize=config.memoize_q,
+                                               warm_start=config.warm_start)
                         if self._interfering else None)
-        self._is_proposed = config.scheme in ("proposed", "proposed-fast")
+        # Warm-start store for the per-slot eq. (23) relaxation bound solve.
+        self._relaxed_warm: Dict[int, float] = {}
+        #: Cumulative wall-clock seconds per engine phase (profiling;
+        #: excluded from serialized results -- timings are not
+        #: deterministic, unlike everything else the engine emits).
+        self.phase_seconds: Dict[str, float] = {
+            "sensing": 0.0, "access": 0.0, "allocation": 0.0,
+            "transmission": 0.0}
 
         self.clocks: Dict[int, GopClock] = {}
         self._demands_static: Dict[int, dict] = {}
@@ -183,6 +197,12 @@ class SimulationEngine:
     def slot(self) -> int:
         """Number of slots simulated so far."""
         return self._slot
+
+    def _mark_phase(self, phase: str, tick: float) -> float:
+        """Charge the time since ``tick`` to ``phase``; return a new mark."""
+        now = time.perf_counter()
+        self.phase_seconds[phase] += now - tick
+        return now
 
     def _nal_quantum(self, sequence, rd_scale: float) -> float:
         """Per-GOP quality quantum of one NAL unit (0 when disabled).
@@ -266,6 +286,7 @@ class SimulationEngine:
         """
         config = self.config
         fault_plan = config.fault_plan
+        tick = time.perf_counter()
         state = self.spectrum.advance()
 
         # --- Sensing phase -------------------------------------------------
@@ -313,11 +334,14 @@ class SimulationEngine:
                 for m in range(config.n_channels)
             ])
 
+        tick = self._mark_phase("sensing", tick)
+
         # --- Access decision ------------------------------------------------
         access = self.access_policy.decide(posteriors)
         self.collisions.record(access, state.occupancy)
         available = access.available_channels.tolist()
         posterior_map = {m: float(posteriors[m]) for m in range(config.n_channels)}
+        tick = self._mark_phase("access", tick)
 
         # --- Channel + time-share allocation --------------------------------
         csi = self._draw_csi()
@@ -342,7 +366,11 @@ class SimulationEngine:
             problem = self.build_slot_problem(expected, csi)
         elif self._is_proposed:
             problem = self.build_slot_problem({i: 0.0 for i in fbs_ids}, csi)
-            greedy_result = self._greedy.allocate(problem, available, posterior_map)
+            # The time-share allocation at the final c is recomputed by
+            # the fallback chain below, so skip the greedy's own final
+            # solve (final_solve=False) -- one fewer full solve per slot.
+            greedy_result = self._greedy.allocate(
+                problem, available, posterior_map, final_solve=False)
             channel_map = greedy_result.channel_allocation
             expected = greedy_result.expected_channels
             problem = problem.with_expected_channels(expected)
@@ -352,8 +380,10 @@ class SimulationEngine:
             # (Q is nondecreasing in every G_i, so granting all FBSs the
             # whole access set cannot be worse than any conflict-free
             # allocation).  Take the tighter of the two.
-            relaxed = fast_solve(problem.with_expected_channels(
-                {i: access.expected_available for i in fbs_ids}))
+            relaxed_problem = problem.with_expected_channels(
+                {i: access.expected_available for i in fbs_ids})
+            relaxed = (fast_solve_warm(relaxed_problem, self._relaxed_warm)
+                       if config.warm_start else fast_solve(relaxed_problem))
             bound_q = min(tighter_upper_bound(greedy_trace), relaxed.objective)
             bound_gap = max(0.0, bound_q - greedy_trace.q_final)
         else:
@@ -366,6 +396,7 @@ class SimulationEngine:
         allocation, degradations = self._fallback_chain.allocate(
             problem, slot=self._slot, inject_nonconvergence=inject)
         self.degradations.extend(degradations)
+        tick = self._mark_phase("allocation", tick)
 
         # --- Transmission + ACK phase ---------------------------------------
         # Block fading: the margin drawn at slot start decides every packet
@@ -408,6 +439,7 @@ class SimulationEngine:
                 clock.quantum_db = self._nal_quantum(
                     clock.sequence, self._rd_scale[user_id])
 
+        self._mark_phase("transmission", tick)
         self._slot += 1
         record = SlotRecord(
             slot=self._slot,
@@ -433,4 +465,5 @@ class SimulationEngine:
             collision_rates=self.collisions.collision_rates(),
             bound_gaps_per_gop=self._bound_gaps_per_gop,
             degradation_events=self.degradations,
+            phase_seconds=self.phase_seconds,
         )

@@ -49,6 +49,11 @@ class RunMetrics:
         (solver fallbacks, sensing outages); see
         :class:`~repro.sim.fallback.DegradationEvent`.  Empty on a fully
         healthy run.
+    phase_seconds:
+        Wall-clock seconds the engine spent per phase (``sensing``,
+        ``access``, ``allocation``, ``transmission``).  Profiling
+        telemetry only: deliberately excluded from checkpoint/result
+        serialization, which must stay deterministic.
     """
 
     per_user_psnr: Dict[int, float]
@@ -58,6 +63,7 @@ class RunMetrics:
     upper_bound_psnr: float
     bound_gaps_per_gop: Sequence[float] = field(default_factory=tuple)
     degradation_events: Sequence[DegradationEvent] = field(default_factory=tuple)
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
     @property
     def n_users(self) -> int:
@@ -72,7 +78,8 @@ class RunMetrics:
 
 def compute_run_metrics(clocks: Mapping[int, GopClock], collision_rates: np.ndarray,
                         bound_gaps_per_gop: Sequence[float],
-                        degradation_events: Sequence[DegradationEvent] = ()
+                        degradation_events: Sequence[DegradationEvent] = (),
+                        phase_seconds: Optional[Mapping[str, float]] = None
                         ) -> RunMetrics:
     """Fold per-user GOP clocks into a :class:`RunMetrics`.
 
@@ -110,6 +117,7 @@ def compute_run_metrics(clocks: Mapping[int, GopClock], collision_rates: np.ndar
         upper_bound_psnr=upper_bound,
         bound_gaps_per_gop=tuple(gaps),
         degradation_events=tuple(degradation_events),
+        phase_seconds=dict(phase_seconds) if phase_seconds else {},
     )
 
 
@@ -190,6 +198,10 @@ class MetricsSummary:
     n_degraded_slots:
         Total degradation events across the surviving runs (solver
         fallbacks and sensing outages).
+    phase_seconds:
+        Per-phase engine wall-clock seconds summed over the surviving
+        runs (empty when the runs carried no timing telemetry, e.g.
+        deserialized checkpoint rows).
     """
 
     mean_psnr: ConfidenceInterval
@@ -199,6 +211,7 @@ class MetricsSummary:
     mean_collision_rate: ConfidenceInterval
     n_failed: int = 0
     n_degraded_slots: int = 0
+    phase_seconds: Mapping[str, float] = field(default_factory=dict)
 
 
 def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95,
@@ -222,6 +235,10 @@ def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95,
     for run in runs:
         if sorted(run.per_user_psnr) != user_ids:
             raise ValueError("all runs must cover the same users")
+    phase_totals: Dict[str, float] = {}
+    for run in runs:
+        for phase, seconds in run.phase_seconds.items():
+            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
     return MetricsSummary(
         mean_psnr=mean_confidence_interval(
             [run.mean_psnr for run in runs], confidence),
@@ -238,4 +255,5 @@ def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95,
             [float(run.collision_rates.mean()) for run in runs], confidence),
         n_failed=int(n_failed),
         n_degraded_slots=sum(run.n_degraded for run in runs),
+        phase_seconds=phase_totals,
     )

@@ -71,6 +71,37 @@ class TestProgressTracker:
         assert report.n_cells == 0
         assert report.n_cached == 2
 
+    def test_fully_cached_resume_reports_real_wall_clock(self):
+        """Regression: zero executed cells reported 0.00 s wall / 0.0x.
+
+        With nothing observed ``self._last`` never advances, so the wall
+        clock collapsed to zero; it must instead run to ``report()`` time.
+        """
+        import time
+        tracker = ProgressTracker()
+        tracker.begin(0, cached=6)
+        time.sleep(0.01)
+        report = tracker.report()
+        assert report.n_cells == 0
+        assert report.n_cached == 6
+        assert report.wall_seconds >= 0.01
+        assert report.effective_parallelism == 0.0  # no busy time, no crash
+        text = report.format()
+        assert "6 resumed from checkpoint" in text
+        assert "0.00 s\n" not in text.split("wall clock")[1].split("\n")[0]
+
+    def test_phase_seconds_aggregated_across_cells(self, single_config):
+        tracker = ProgressTracker()
+        tracker.observe(make_outcome(single_config, run_index=0))
+        tracker.observe(make_outcome(single_config, run_index=1))
+        # A failed cell carries no RunMetrics, hence no phase telemetry.
+        tracker.observe(make_outcome(single_config, run_index=2, failed=True))
+        report = tracker.report()
+        assert set(report.phase_seconds) == {
+            "sensing", "access", "allocation", "transmission"}
+        assert all(seconds >= 0.0 for seconds in report.phase_seconds.values())
+        assert "per phase" in report.format()
+
 
 class TestTimingReport:
     def _report(self):

@@ -6,6 +6,7 @@ the checkpoint without recomputing completed cells.
 
 import json
 
+import numpy as np
 import pytest
 
 from repro.sim import MonteCarloRunner, SweepCheckpoint, sweep
@@ -157,6 +158,53 @@ class TestCheckpointSafety:
         path.write_text("\n".join(lines) + "\n")
         with pytest.raises(CheckpointError):
             run_sweep(single_config, path)
+
+    def test_numpy_sweep_values_serialize(self, single_config, tmp_path):
+        """Regression: ``np.linspace`` values / numpy seed crashed the header.
+
+        ``json.dumps`` refuses ``np.float64``/``np.int64``, so a sweep over
+        ``np.linspace(...)`` died with ``TypeError: Object of type int64 is
+        not JSON serializable`` the moment the checkpoint was created.
+        """
+        path = tmp_path / "np.jsonl"
+        ckpt = SweepCheckpoint(path, parameter="gamma",
+                               values=np.linspace(0.1, 0.3, 2),
+                               schemes=["heuristic1"], n_runs=1,
+                               seed=np.int64(7))
+        metrics = MonteCarloRunner(single_config, n_runs=1).run_all()[0]
+        ckpt.record(SweepCheckpoint.cell_key("heuristic1", 0, 0), metrics)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_numpy_sweep_values_fingerprint_matches_builtins(self, tmp_path):
+        """A numpy-valued sweep resumes under numpy *or* builtin values."""
+        path = tmp_path / "np2.jsonl"
+        SweepCheckpoint(path, parameter="gamma",
+                        values=np.linspace(0.1, 0.3, 2),
+                        schemes=["heuristic1"], n_runs=1, seed=np.int64(7))
+        # Same sweep, numpy values again: accepted.
+        SweepCheckpoint(path, parameter="gamma",
+                        values=np.linspace(0.1, 0.3, 2),
+                        schemes=["heuristic1"], n_runs=1, seed=np.int64(7))
+        # Same sweep expressed with builtins: also accepted.
+        SweepCheckpoint(path, parameter="gamma", values=[0.1, 0.3],
+                        schemes=["heuristic1"], n_runs=1, seed=7)
+        # A genuinely different sweep is still refused.
+        with pytest.raises(CheckpointError):
+            SweepCheckpoint(path, parameter="gamma",
+                            values=np.linspace(0.1, 0.5, 2),
+                            schemes=["heuristic1"], n_runs=1, seed=7)
+
+    def test_sweep_with_numpy_values_checkpoints_end_to_end(
+            self, single_config, tmp_path):
+        path = tmp_path / "np3.jsonl"
+        first = run_sweep(single_config, path, parameter="gamma",
+                          values=np.linspace(0.1, 0.3, 2),
+                          schemes=["heuristic1"], n_runs=1)
+        resumed = run_sweep(single_config, path, parameter="gamma",
+                            values=np.linspace(0.1, 0.3, 2),
+                            schemes=["heuristic1"], n_runs=1)
+        assert resumed.series("heuristic1") == first.series("heuristic1")
 
     def test_cell_api_round_trip(self, single_config, tmp_path):
         path = tmp_path / "cells.jsonl"

@@ -69,6 +69,19 @@ class TestDecide:
             decision.available_channels.tolist()[:1])
         assert 0.0 <= subset <= full
 
+    def test_subset_deduplicates_channel_indices(self):
+        """Regression: a duplicated index must not inflate ``G``.
+
+        ``G`` sums posteriors over a channel *set*; with posteriors
+        0.5/0.6 the list ``[0, 0, 1]`` must yield 1.1, not 1.6.
+        """
+        policy = AccessPolicy([1.0] * 2, rng=0)  # cap 1.0: always access
+        decision = policy.decide([0.5, 0.6])
+        assert decision.available_channels.tolist() == [0, 1]
+        assert decision.expected_available_subset([0, 0, 1]) == pytest.approx(1.1)
+        assert decision.expected_available_subset([0, 0, 1]) == \
+            decision.expected_available_subset([0, 1])
+
     def test_subset_ignores_unaccessed_channels(self):
         policy = AccessPolicy([0.0] * 2, rng=0)
         decision = policy.decide([0.5, 0.5])  # never accessed (cap 0)

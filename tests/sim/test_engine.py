@@ -21,6 +21,37 @@ class TestDeterminism:
         b = SimulationEngine(single_config.with_seed(2)).run()
         assert a.per_user_psnr != b.per_user_psnr
 
+    def test_acceleration_and_memo_are_bit_identical(self, interfering_config):
+        """The default accelerated path must equal the scalar seed path."""
+        from repro.core.accel import use_acceleration
+        accel = SimulationEngine(interfering_config).run()
+        with use_acceleration(False):
+            scalar = SimulationEngine(
+                interfering_config.replace(memoize_q=False)).run()
+        assert accel.per_user_psnr == scalar.per_user_psnr
+        assert accel.upper_bound_psnr == scalar.upper_bound_psnr
+        assert np.array_equal(accel.collision_rates, scalar.collision_rates)
+
+    def test_warm_start_runs_and_stays_close(self, interfering_config):
+        """Warm starts change the iterate path but not the physics."""
+        cold = SimulationEngine(interfering_config).run()
+        warm = SimulationEngine(
+            interfering_config.replace(warm_start=True)).run()
+        assert set(warm.per_user_psnr) == set(cold.per_user_psnr)
+        for uid, psnr in warm.per_user_psnr.items():
+            assert psnr == pytest.approx(cold.per_user_psnr[uid], rel=0.05)
+
+
+class TestPhaseTimings:
+    def test_phases_cover_the_run(self, single_config):
+        engine = SimulationEngine(single_config)
+        metrics = engine.run()
+        assert set(metrics.phase_seconds) == {
+            "sensing", "access", "allocation", "transmission"}
+        assert all(v >= 0.0 for v in metrics.phase_seconds.values())
+        assert sum(metrics.phase_seconds.values()) > 0.0
+        assert metrics.phase_seconds == engine.phase_seconds
+
 
 class TestSlotMechanics:
     def test_records_only_when_asked(self, single_config):

@@ -52,6 +52,17 @@ class TestComputeRunMetrics:
         metrics = compute_run_metrics(clocks, np.zeros(2), [])
         assert metrics.fairness == pytest.approx(1.0)
 
+    def test_phase_seconds_carried_but_not_serialized(self):
+        """Timing telemetry rides on RunMetrics but never reaches disk."""
+        from repro.sim.checkpoint import run_metrics_to_dict
+        phases = {"sensing": 0.1, "allocation": 0.9}
+        metrics = compute_run_metrics(make_clocks({0: [30.0]}), np.zeros(2),
+                                      [], phase_seconds=phases)
+        assert metrics.phase_seconds == phases
+        assert "phase_seconds" not in run_metrics_to_dict(metrics)
+        bare = compute_run_metrics(make_clocks({0: [30.0]}), np.zeros(2), [])
+        assert bare.phase_seconds == {}
+
 
 class TestSummarizeRuns:
     def test_summary_structure(self):
@@ -69,6 +80,17 @@ class TestSummarizeRuns:
     def test_empty_runs_rejected(self):
         with pytest.raises(ValueError):
             summarize_runs([])
+
+    def test_phase_seconds_summed_across_runs(self):
+        runs = [
+            compute_run_metrics(make_clocks({0: [30.0]}), np.zeros(2), [],
+                                phase_seconds={"sensing": 0.1 * (r + 1),
+                                               "allocation": 1.0})
+            for r in range(3)
+        ]
+        summary = summarize_runs(runs)
+        assert summary.phase_seconds["sensing"] == pytest.approx(0.6)
+        assert summary.phase_seconds["allocation"] == pytest.approx(3.0)
 
     def test_mismatched_users_rejected(self):
         run_a = compute_run_metrics(make_clocks({0: [30.0]}), np.zeros(1), [])

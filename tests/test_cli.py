@@ -64,3 +64,19 @@ class TestExecution:
                      "--scenario", "interfering"]) == 0
         out = capsys.readouterr().out
         assert "eq. (23) bound" in out
+
+    def test_simulate_profile_prints_phase_seconds(self, capsys):
+        assert main(["simulate", "--runs", "1", "--gops", "1",
+                     "--scheme", "heuristic1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase seconds" in out
+        for phase in ("sensing", "access", "allocation", "transmission"):
+            assert phase in out
+
+    def test_profile_without_progress_prints_timing_report(self, capsys):
+        assert main(["fig4c", "--runs", "1", "--gops", "1", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "Timing report" in captured.out
+        assert "per phase" in captured.out
+        # --profile alone must not narrate per-cell lines.
+        assert "heuristic1|0|0" not in captured.err
