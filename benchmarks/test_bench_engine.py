@@ -1,0 +1,122 @@
+"""Engine acceleration: scalar PHY/sensing oracle vs batched backend.
+
+Runs the interfering-FBS scenario through the Monte-Carlo runner twice
+-- once with every acceleration layer disabled (the scalar seed path:
+per-observation ``SpectrumSensor.sense`` calls, per-channel fusion,
+per-link fading draws) and once with the default batched backend --
+verifies the two produce bit-identical per-run metrics, and records
+the end-to-end speedup plus a per-phase breakdown into
+``BENCH_engine.json``.
+
+Read alongside ``BENCH_solver.json``: the solver benchmark pins the
+allocation phase, this one pins the whole simulation loop.  The
+``use_acceleration`` switch is global -- the scalar leg here also runs
+the scalar solver -- so the per-phase breakdown is what attributes the
+win: ``sensing``/``access``/``transmission`` are the batched
+PHY/sensing backend, ``allocation`` is the solver's share.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro.core.accel import use_acceleration
+from repro.experiments.scenarios import interfering_fbs_scenario
+from repro.sim.checkpoint import run_metrics_to_dict
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import MonteCarloRunner
+
+#: Required end-to-end engine speedup of the batched backend (ISSUE 4).
+MIN_SPEEDUP = 1.3
+
+#: Where the speedup trajectory accumulates (uploaded by the CI job).
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _fingerprint(runs):
+    """Deterministic serialisation of a run list for bit-identity checks."""
+    return json.dumps([run_metrics_to_dict(run) for run in runs],
+                      sort_keys=True)
+
+
+def _timed_runs(config):
+    import time
+    start = time.perf_counter()
+    runs = MonteCarloRunner(config, n_runs=BENCH_RUNS).run_all()
+    return runs, time.perf_counter() - start
+
+
+def _phase_breakdown(config, accelerated):
+    """Per-phase seconds of one run under the chosen PHY/sensing backend."""
+    with use_acceleration(accelerated):
+        metrics = SimulationEngine(config).run()
+    return {phase: round(seconds, 3)
+            for phase, seconds in sorted(metrics.phase_seconds.items())}
+
+
+def test_bench_engine_acceleration(benchmark):
+    config = interfering_fbs_scenario(
+        n_gops=BENCH_GOPS, seed=BENCH_SEED, scheme="proposed-fast")
+
+    def ab_comparison():
+        with use_acceleration(False):
+            base_runs, base_s = _timed_runs(config)
+        with use_acceleration(True):
+            accel_runs, accel_s = _timed_runs(config)
+        return base_runs, base_s, accel_runs, accel_s
+
+    base_runs, base_s, accel_runs, accel_s = benchmark.pedantic(
+        ab_comparison, rounds=1, iterations=1)
+    identical = _fingerprint(base_runs) == _fingerprint(accel_runs)
+    speedup = base_s / accel_s if accel_s > 0 else float("inf")
+    scalar_phases = _phase_breakdown(config, accelerated=False)
+    batched_phases = _phase_breakdown(config, accelerated=True)
+
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append({
+        "benchmark": "engine-acceleration",
+        "scenario": "interfering",
+        "runs": BENCH_RUNS,
+        "gops": BENCH_GOPS,
+        "seed": BENCH_SEED,
+        "scalar_seconds": round(base_s, 3),
+        "batched_seconds": round(accel_s, 3),
+        "speedup": round(speedup, 3),
+        "bit_identical": identical,
+        "scalar_phase_seconds": scalar_phases,
+        "batched_phase_seconds": batched_phases,
+    })
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+    phase_rows = [
+        f"{phase:<13}: {scalar_phases.get(phase, 0.0):7.3f} s -> "
+        f"{batched_phases.get(phase, 0.0):7.3f} s"
+        for phase in sorted(set(scalar_phases) | set(batched_phases))
+    ]
+    report("Engine acceleration: scalar PHY/sensing oracle vs batched backend",
+           "\n".join([
+               f"scenario         : interfering FBSs, proposed-fast, "
+               f"{BENCH_RUNS} runs x {BENCH_GOPS} GOPs",
+               f"scalar oracle    : {base_s:8.2f} s",
+               f"batched backend  : {accel_s:8.2f} s",
+               f"speedup          : {speedup:8.2f}x (required >= {MIN_SPEEDUP}x)",
+               f"bit-identical    : {identical}",
+               "phase breakdown (one run, scalar -> batched):",
+               *phase_rows,
+               f"trajectory       : {BENCH_JSON.name}",
+           ]))
+
+    assert identical, (
+        "batched engine backend diverged from the scalar oracle -- the "
+        "two paths must consume the RNG streams identically and produce "
+        "bit-identical run metrics")
+    assert speedup >= MIN_SPEEDUP, (
+        f"expected >= {MIN_SPEEDUP}x end-to-end speedup from the batched "
+        f"PHY/sensing backend, measured {speedup:.2f}x")

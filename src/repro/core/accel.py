@@ -1,23 +1,31 @@
-"""Global switch for the accelerated solver hot path.
+"""Global switch for the accelerated hot paths.
 
-The per-slot allocation stack has two implementations of its inner
-numerics:
+Two layers of the per-slot stack have dual implementations of their
+inner numerics:
 
 * the **scalar oracle** -- the original, straight-from-the-paper code
   (pure-Python water-filling, per-iteration helper calls in the dual
-  subgradient loop, no caching).  It is kept verbatim as the reference
-  against which everything else is validated.
+  subgradient loop, per-observation :class:`SensingResult` objects and
+  per-user fading draws in the simulation engine).  It is kept verbatim
+  as the reference against which everything else is validated.
 * the **accelerated path** -- numpy-vectorised water-filling breakpoint
   scan, a compiled per-problem representation with per-group result
-  caching (:class:`repro.core.reference.CompiledSlotProblem`), and a
+  caching (:class:`repro.core.reference.CompiledSlotProblem`), a
   hoisted-invariant subgradient iteration kernel in
-  :mod:`repro.core.dual`.
+  :mod:`repro.core.dual`, and the batched PHY/sensing engine backend
+  (one uniform array draw per slot for all sensing observations, one
+  vectorized Bayesian-fusion pass over all channels, one exponential
+  array draw for all block-fading margins -- see
+  :meth:`repro.sim.engine.SimulationEngine._sense_fuse_batched`).
 
-Both produce **bit-identical** results (asserted by the test suite and
-by ``benchmarks/test_bench_solver.py``); the switch exists so the
-benchmark can time one against the other and so an operator can fall
-back to the oracle when debugging numerics.  The accelerated path is on
-by default.
+Both paths produce **bit-identical** results -- including identical RNG
+stream consumption, so checkpoints and ``--jobs N`` sweeps are
+byte-identical whichever path ran (asserted by the differential suites
+``tests/*/test_batched_equivalence.py`` and by
+``benchmarks/test_bench_solver.py`` / ``benchmarks/test_bench_engine.py``).
+The switch exists so the benchmarks can time one path against the other
+and so an operator can fall back to the oracle when debugging numerics.
+The accelerated path is on by default.
 """
 
 from __future__ import annotations

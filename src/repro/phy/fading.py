@@ -21,7 +21,7 @@ import numpy as np
 from scipy import special as _special
 
 from repro.utils.errors import ConfigurationError
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, batched_exponential
 from repro.utils.validation import check_positive
 
 
@@ -95,6 +95,36 @@ class NakagamiFading:
 
     def __repr__(self) -> str:
         return f"NakagamiFading(mean_sinr={self.mean_sinr:.4g}, m={self.m})"
+
+
+def draw_rayleigh_margins(rng: RandomState, mean_margins) -> np.ndarray:
+    """Realise many links' block-fading decoding margins in one call.
+
+    Under Rayleigh fading the decoding margin ``X / H`` of a link with
+    mean margin ``mu`` is exponential with mean ``mu``; a link decodes
+    iff its draw exceeds 1 (exactly the ``bar P^F = exp(-1/mu)``
+    probability of eq. (8)).  This draws one margin per entry of
+    ``mean_margins`` through
+    :func:`~repro.utils.rng.batched_exponential`, so the values -- and
+    the RNG state afterwards -- are bit-identical to drawing each link's
+    margin with a scalar ``rng.exponential(mu)`` call in the same order.
+    """
+    margins = np.asarray(mean_margins, dtype=float)
+    if margins.size and np.any(margins <= 0.0):
+        raise ConfigurationError(
+            f"mean margins must be positive, got min {margins.min()!r}")
+    return batched_exponential(as_generator(rng), margins)
+
+
+def decode_indicators(margins, threshold: float = 1.0) -> np.ndarray:
+    """Vectorized delivery indicators ``xi = 1{margin > threshold}``.
+
+    The batched counterpart of :meth:`BlockFadingLink.realize_slot`'s
+    comparison: with block fading one comparison per link per slot
+    realises every packet's fate on that link.
+    """
+    threshold = check_positive(threshold, "threshold", allow_zero=True)
+    return (np.asarray(margins, dtype=float) > threshold).astype(np.int8)
 
 
 class BlockFadingLink:

@@ -98,6 +98,23 @@ class AccessPolicy:
             return 1.0
         return gamma / busy_posterior
 
+    def access_probabilities(self, posteriors: np.ndarray) -> np.ndarray:
+        """Vectorized ``P_D`` for every channel at once (eq. 7).
+
+        Bit-exact batched counterpart of calling
+        :meth:`access_probability` per channel: the comparisons and the
+        ``gamma / (1 - P_A)`` divisions are the same IEEE-754 double
+        operations element by element, so the returned array matches the
+        scalar loop exactly.  Subclasses overriding
+        :meth:`access_probability` must override this too (see
+        :class:`HardThresholdAccessPolicy`).
+        """
+        busy = 1.0 - posteriors
+        exceeds = busy > self.collision_caps
+        probs = np.ones(posteriors.size)
+        np.divide(self.collision_caps, busy, out=probs, where=exceeds)
+        return probs
+
     def decide(self, posteriors) -> AccessDecision:
         """Draw access decisions ``D_m`` for every channel in one slot.
 
@@ -113,6 +130,28 @@ class AccessPolicy:
         probs = np.array([
             self.access_probability(m, posteriors[m]) for m in range(self.n_channels)
         ])
+        draws = self._rng.random(self.n_channels)
+        decisions = np.where(draws < probs, 0, 1).astype(np.int8)
+        return AccessDecision(
+            access_probabilities=probs,
+            decisions=decisions,
+            posteriors=posteriors.copy(),
+        )
+
+    def decide_batched(self, posteriors) -> AccessDecision:
+        """Batched counterpart of :meth:`decide`.
+
+        Computes every ``P_D`` through :meth:`access_probabilities` and
+        draws the same ``M`` uniforms as the scalar path (one
+        ``rng.random(M)`` call either way), so the returned decision --
+        and the RNG state afterwards -- is bit-identical to
+        :meth:`decide` on the same posteriors.
+        """
+        posteriors = check_probability_array(posteriors, "posteriors")
+        if posteriors.size != self.n_channels:
+            raise ValueError(
+                f"expected {self.n_channels} posteriors, got {posteriors.size}")
+        probs = self.access_probabilities(posteriors)
         draws = self._rng.random(self.n_channels)
         decisions = np.where(draws < probs, 0, 1).astype(np.int8)
         return AccessDecision(
@@ -184,3 +223,7 @@ class HardThresholdAccessPolicy(AccessPolicy):
         """1 if the busy posterior clears the cap, else 0."""
         posterior_idle = check_probability(posterior_idle, "posterior_idle")
         return 1.0 if 1.0 - posterior_idle <= self.collision_caps[channel] else 0.0
+
+    def access_probabilities(self, posteriors: np.ndarray) -> np.ndarray:
+        """Vectorized thresholding, element-identical to the scalar rule."""
+        return np.where(1.0 - posteriors <= self.collision_caps, 1.0, 0.0)

@@ -26,7 +26,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.sensing.detector import SensingResult
-from repro.sensing.fusion import posterior_idle_probability
+from repro.sensing.fusion import fuse_posteriors_batched, posterior_idle_probability
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import check_probability
 
@@ -99,6 +99,22 @@ class ChannelBeliefTracker:
         idle_posterior = posterior_idle_probability(self.prior(channel), results)
         self._busy[channel] = 1.0 - idle_posterior
         return idle_posterior
+
+    def fuse_batched(self, observations, counts, false_alarm: float,
+                     miss_detection: float) -> np.ndarray:
+        """Fuse all channels' observations in one vectorized pass.
+
+        Bit-exact batched counterpart of calling :meth:`fuse` channel by
+        channel in index order (each scalar ``fuse`` only reads and
+        writes its own channel's belief, so the per-channel updates are
+        independent).  Returns the idle posteriors and stores the busy
+        complements as next slot's beliefs, exactly as the scalar path
+        does.
+        """
+        idle = fuse_posteriors_batched(
+            self._busy, observations, counts, false_alarm, miss_detection)
+        self._busy = 1.0 - idle
+        return idle
 
     def reset(self) -> None:
         """Forget all evidence: return to the stationary priors."""

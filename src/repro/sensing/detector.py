@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.spectrum.markov import BUSY, IDLE
 from repro.utils.errors import ConfigurationError
-from repro.utils.rng import RandomState, as_generator
+from repro.utils.rng import RandomState, as_generator, batched_uniform
 from repro.utils.validation import check_probability
 
 
@@ -118,6 +118,19 @@ class SpectrumSensor:
             sensor_id=self.sensor_id,
         )
 
+    def sense_batched(self, true_states) -> np.ndarray:
+        """Batched counterpart of :meth:`sense` over many observations.
+
+        Consumes the sensor's RNG stream exactly like the equivalent
+        sequence of scalar :meth:`sense` calls (one uniform per
+        observation, in order), so the two are interchangeable
+        mid-simulation.  Returns the raw observation vector instead of
+        :class:`SensingResult` objects -- skipping the per-observation
+        dataclass construction is most of the batched backend's win.
+        """
+        return sense_observations_batched(
+            true_states, self.false_alarm, self.miss_detection, rng=self._rng)
+
     def error_profile(self) -> tuple:
         """The ``(epsilon, delta)`` pair of this sensor."""
         return (self.false_alarm, self.miss_detection)
@@ -125,3 +138,39 @@ class SpectrumSensor:
     def __repr__(self) -> str:
         return (f"SpectrumSensor(id={self.sensor_id}, epsilon={self.false_alarm}, "
                 f"delta={self.miss_detection})")
+
+
+def sense_observations_batched(true_states, false_alarm: float,
+                               miss_detection: float, *,
+                               rng: RandomState = None) -> np.ndarray:
+    """Realise many sensing observations with one RNG call.
+
+    ``true_states[k]`` is the true occupancy seen by observation ``k``;
+    all observations share one ``(epsilon, delta)`` error profile (the
+    paper's evaluation uses identical sensors).  The function draws
+    ``len(true_states)`` uniforms via :func:`~repro.utils.rng.batched_uniform`
+    and applies the same decision rule as :meth:`SpectrumSensor.sense`:
+
+    * idle channel: report busy iff ``u < epsilon`` (false alarm);
+    * busy channel: report idle iff ``u < delta`` (miss detection).
+
+    Because the uniform draws and the comparisons are identical to the
+    scalar path's, the returned observation vector -- and the RNG state
+    afterwards -- are bit-identical to the equivalent ``sense`` loop.
+    """
+    false_alarm = check_probability(false_alarm, "false_alarm")
+    miss_detection = check_probability(miss_detection, "miss_detection")
+    states = np.asarray(true_states)
+    if states.ndim != 1:
+        raise ConfigurationError(
+            f"true_states must be one-dimensional, got shape {states.shape}")
+    invalid = (states != IDLE) & (states != BUSY)
+    if states.size and invalid.any():
+        raise ConfigurationError(
+            f"true_state must be 0 or 1, got {states[invalid][0]!r}")
+    draws = batched_uniform(as_generator(rng), states.size)
+    # idle: observation = (u < eps); busy: observation = not (u < delta).
+    observations = np.where(states == IDLE,
+                            draws < false_alarm,
+                            ~(draws < miss_detection))
+    return observations.astype(np.int8)

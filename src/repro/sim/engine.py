@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Set
 
 import numpy as np
 
+from repro.core.accel import acceleration_enabled
 from repro.core.allocator import get_allocator
 from repro.core.dual import fast_solve, fast_solve_warm
 from repro.core.bounds import GreedyTrace, tighter_upper_bound
@@ -41,10 +42,15 @@ from repro.sensing.access import (
     CollisionTracker,
     HardThresholdAccessPolicy,
 )
+from repro.phy.fading import draw_rayleigh_margins
 from repro.sensing.belief import ChannelBeliefTracker
 from repro.sensing.assignment import assign_sensors_round_robin
-from repro.sensing.detector import SensingResult, SpectrumSensor
-from repro.sensing.fusion import fuse_posterior
+from repro.sensing.detector import (
+    SensingResult,
+    SpectrumSensor,
+    sense_observations_batched,
+)
+from repro.sensing.fusion import fuse_posterior, fuse_posteriors_batched
 from repro.sim.channel_assignment import (
     color_partition_allocation,
     expected_channels_of,
@@ -131,6 +137,30 @@ class SimulationEngine:
                 sensor_id=id_base + fbs.fbs_id, rng=sensing_rng)
             for fbs in topology.fbss
         }
+        # Every sensor shares this one stream; the batched backend draws
+        # a whole slot's observations from it in one call.
+        self._sensing_rng = sensing_rng
+        self._sorted_user_ids = sorted(user.user_id for user in topology.users)
+
+        # Hoisted per-link invariants: the topology is static, so the mean
+        # decoding margins never change across slots.  The scalar oracle
+        # re-reads the per-user margin dicts every slot (kept verbatim);
+        # the batched backend consumes this interleaved vector --
+        # (mbs_0, fbs_0, mbs_1, fbs_1, ...) in topology user order -- so
+        # one exponential array draw walks the fading stream exactly like
+        # the scalar per-user loop.
+        self._csi_user_ids = [user.user_id for user in topology.users]
+        csi_scales = np.empty(2 * len(self._csi_user_ids))
+        csi_scales[0::2] = [topology.mbs_margin[u] for u in self._csi_user_ids]
+        csi_scales[1::2] = [topology.fbs_margin[u] for u in self._csi_user_ids]
+        self._csi_scales = csi_scales
+        # Stationary utilisations are likewise static; the batched fusion
+        # reuses this array instead of rebuilding it every slot.
+        self._etas = self.spectrum.utilizations
+        # The round-robin sensing layout repeats with period M: cache the
+        # per-offset scatter (user order, per-channel counts, target
+        # cells) so steady-state slots skip the argsort entirely.
+        self._sensing_layout: Dict[int, tuple] = {}
 
         self._is_proposed = config.scheme in ("proposed", "proposed-fast")
         allocator_kwargs = (
@@ -273,35 +303,44 @@ class SimulationEngine:
             )
         return csi
 
-    def step(self) -> SlotRecord:
-        """Simulate one complete time slot and return its record.
+    def _draw_csi_batched(self) -> Dict[int, tuple]:
+        """Batched counterpart of :meth:`_draw_csi`.
 
-        Raises
-        ------
-        NumericalError
-            When a non-finite fading margin is drawn (or injected); the
-            Monte-Carlo runner isolates this per replication.
-        AllocationFailedError
-            When every allocator in the fallback chain fails.
+        One exponential array draw over the hoisted interleaved scale
+        vector consumes the fading stream exactly like the scalar
+        per-user loop (see :func:`repro.utils.rng.batched_exponential`),
+        so the margins -- and every draw after them -- are bit-identical.
+        """
+        draws = draw_rayleigh_margins(self._fading_rng, self._csi_scales)
+        mbs_draws = draws[0::2]
+        fbs_draws = draws[1::2]
+        return {
+            user_id: (float(mbs_draws[k]), float(fbs_draws[k]))
+            for k, user_id in enumerate(self._csi_user_ids)
+        }
+
+    def _sense_fuse_scalar(self, occupancy: np.ndarray) -> np.ndarray:
+        """Scalar sensing + fusion phase (the bit-exact oracle).
+
+        This is the seed implementation kept verbatim: one
+        :class:`SensingResult` per observation, fused channel by channel
+        with eqs. (2)-(4).  The batched backend in
+        :meth:`_sense_fuse_batched` is validated against it.
         """
         config = self.config
         fault_plan = config.fault_plan
-        tick = time.perf_counter()
-        state = self.spectrum.advance()
-
-        # --- Sensing phase -------------------------------------------------
         results_by_channel: Dict[int, List[SensingResult]] = {
             m: [] for m in range(config.n_channels)}
         for fbs_id, sensor in self._fbs_sensors.items():
             for m in range(config.n_channels):
-                results_by_channel[m].append(sensor.sense(m, int(state.occupancy[m])))
+                results_by_channel[m].append(sensor.sense(m, int(occupancy[m])))
         user_ids = sorted(self._user_sensors)
         user_assignment = assign_sensors_round_robin(
             user_ids, config.n_channels, offset=self._slot)
         for user_id, channel in user_assignment.items():
             sensor = self._user_sensors[user_id]
             results_by_channel[channel].append(
-                sensor.sense(channel, int(state.occupancy[channel])))
+                sensor.sense(channel, int(occupancy[channel])))
         if config.single_observation_fusion:
             # A2 ablation: only the first result (the first FBS's own
             # antenna) reaches the fusion centre.
@@ -333,18 +372,113 @@ class SimulationEngine:
                 fuse_posterior(etas[m], results_by_channel[m])
                 for m in range(config.n_channels)
             ])
+        return posteriors
+
+    def _sense_fuse_batched(self, occupancy: np.ndarray) -> np.ndarray:
+        """Batched sensing + fusion phase.
+
+        Bit-exact, draw-for-draw replacement for
+        :meth:`_sense_fuse_scalar`: one uniform array draw realises
+        every observation (FBS antennas in insertion order over channels
+        0..M-1, then users in sorted-id round-robin order, matching the
+        scalar loops), and one vectorized fusion pass folds them per
+        channel in the same observation order.  Asserted equivalent by
+        ``tests/sensing/test_batched_equivalence.py`` and the engine
+        differential suite.
+        """
+        config = self.config
+        fault_plan = config.fault_plan
+        n_channels = config.n_channels
+        n_fbs = len(self._fbs_sensors)
+        n_users = len(self._sorted_user_ids)
+        offset = self._slot % n_channels
+        layout = self._sensing_layout.get(offset)
+        if layout is None:
+            user_channels = (np.arange(n_users) + offset) % n_channels
+            user_counts = np.bincount(user_channels, minlength=n_channels)
+            # Group user observations by channel, preserving user order
+            # within each channel (stable sort = the scalar append order).
+            order = np.argsort(user_channels, kind="stable")
+            sorted_channels = user_channels[order]
+            starts = np.cumsum(user_counts) - user_counts
+            positions = n_fbs + np.arange(n_users) - starts[sorted_channels]
+            layout = (user_channels, user_counts, order,
+                      sorted_channels, positions)
+            self._sensing_layout[offset] = layout
+        user_channels, user_counts, order, sorted_channels, positions = layout
+        states = np.concatenate([
+            np.tile(occupancy, n_fbs), occupancy[user_channels]])
+        observations = sense_observations_batched(
+            states, config.false_alarm, config.miss_detection,
+            rng=self._sensing_rng)
+        fbs_obs = observations[:n_fbs * n_channels].reshape(n_fbs, n_channels)
+        user_obs = observations[n_fbs * n_channels:]
+        if config.single_observation_fusion:
+            # A2 ablation: only the first FBS's own antenna reaches the
+            # fusion centre (user draws were still consumed above, as in
+            # the scalar path).
+            obs_matrix = np.ascontiguousarray(fbs_obs[:1].T)
+            counts = np.full(n_channels, min(1, n_fbs), dtype=np.int64)
+        else:
+            width = n_fbs + (int(user_counts.max()) if n_users else 0)
+            obs_matrix = np.zeros((n_channels, width), dtype=np.int8)
+            obs_matrix[:, :n_fbs] = fbs_obs.T
+            if n_users:
+                obs_matrix[sorted_channels, positions] = user_obs[order]
+            counts = n_fbs + user_counts
+        if fault_plan is not None:
+            outage = fault_plan.sensing_outage(self._slot, n_channels)
+            if outage:
+                counts = counts.copy()
+                counts[list(outage)] = 0
+                self.degradations.append(DegradationEvent(
+                    slot=self._slot, cause="sensing-outage",
+                    allocator="sensing", fallback="prior-only",
+                    detail=("observations missing on channels "
+                            f"{sorted(outage)}; fused from priors")))
+        if self.belief_tracker is not None:
+            self.belief_tracker.predict()
+            return self.belief_tracker.fuse_batched(
+                obs_matrix, counts, config.false_alarm, config.miss_detection)
+        return fuse_posteriors_batched(
+            self._etas, obs_matrix, counts,
+            config.false_alarm, config.miss_detection)
+
+    def step(self) -> SlotRecord:
+        """Simulate one complete time slot and return its record.
+
+        Raises
+        ------
+        NumericalError
+            When a non-finite fading margin is drawn (or injected); the
+            Monte-Carlo runner isolates this per replication.
+        AllocationFailedError
+            When every allocator in the fallback chain fails.
+        """
+        config = self.config
+        fault_plan = config.fault_plan
+        accelerated = acceleration_enabled()
+        tick = time.perf_counter()
+        state = self.spectrum.advance()
+
+        # --- Sensing phase -------------------------------------------------
+        if accelerated:
+            posteriors = self._sense_fuse_batched(state.occupancy)
+        else:
+            posteriors = self._sense_fuse_scalar(state.occupancy)
 
         tick = self._mark_phase("sensing", tick)
 
         # --- Access decision ------------------------------------------------
-        access = self.access_policy.decide(posteriors)
+        access = (self.access_policy.decide_batched(posteriors) if accelerated
+                  else self.access_policy.decide(posteriors))
         self.collisions.record(access, state.occupancy)
         available = access.available_channels.tolist()
         posterior_map = {m: float(posteriors[m]) for m in range(config.n_channels)}
         tick = self._mark_phase("access", tick)
 
         # --- Channel + time-share allocation --------------------------------
-        csi = self._draw_csi()
+        csi = self._draw_csi_batched() if accelerated else self._draw_csi()
         if fault_plan is not None and fault_plan.poisons_fading(self._slot):
             csi = {user_id: (float("nan"), float("nan")) for user_id in csi}
         for user_id, margins in csi.items():

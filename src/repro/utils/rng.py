@@ -65,6 +65,39 @@ def spawn_streams(seed: RandomState, names: Iterable[str]) -> Dict[str, np.rando
     return {name: np.random.default_rng(child) for name, child in zip(names, children)}
 
 
+def batched_uniform(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` uniforms in one call, consuming the stream like ``n``
+    scalar ``rng.random()`` calls.
+
+    This is the contract the batched PHY/sensing backend is built on:
+    numpy's ``Generator.random(size=n)`` fills the output buffer by
+    repeating the exact per-element draw of the scalar call, so the bit
+    stream -- and therefore every subsequent draw from ``rng`` -- is
+    identical whether a slot's uniforms are drawn one at a time (the
+    scalar oracle) or as one array (the batched backend).  Asserted by
+    ``tests/utils/test_rng.py`` and relied on for the byte-identical
+    ``--jobs N`` checkpoint guarantee.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    return rng.random(int(n))
+
+
+def batched_exponential(rng: np.random.Generator, scales) -> np.ndarray:
+    """Draw one exponential per entry of ``scales`` in a single call.
+
+    Same stream-consumption contract as :func:`batched_uniform`: numpy's
+    ``Generator.exponential(scale=array)`` loops over the output buffer
+    in index order calling the same ziggurat sampler as the scalar
+    ``rng.exponential(scale)`` call, so ``batched_exponential(rng, s)``
+    is bit-identical to ``[rng.exponential(x) for x in s]`` and leaves
+    ``rng`` in the same state.  Used for the per-slot block-fading
+    margin draws of the batched engine backend.
+    """
+    scales = np.asarray(scales, dtype=float)
+    return rng.exponential(scales)
+
+
 def derive_seed(seed: Optional[int], run_index: int,
                 attempt: int = 0) -> Optional[int]:
     """Deterministic per-run seed for Monte-Carlo replication ``run_index``.

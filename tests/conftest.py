@@ -64,6 +64,57 @@ def random_problem(rng: np.random.Generator, *, max_users: int = 6,
 
 
 @pytest.fixture
+def rng_pair():
+    """Two identically seeded generators for differential draw tests.
+
+    The first is conventionally driven by the batched code path, the
+    second by the equivalent scalar sequence; asserting equal outputs
+    *and* equal final states proves the two consume the stream
+    identically.
+    """
+    return np.random.default_rng(20260806), np.random.default_rng(20260806)
+
+
+@pytest.fixture
+def small_scenario():
+    """Tiny single-FBS scenario shared by the equivalence suites.
+
+    One GOP, four channels: large enough to exercise round-robin
+    sensing, fusion, access, and the PSNR recursion; small enough that
+    a scalar-vs-batched double run stays cheap.
+    """
+    return single_fbs_scenario(n_gops=1, n_channels=4, seed=20260806)
+
+
+def random_scenario(rng: np.random.Generator):
+    """A fuzzed small scenario config for the differential suites.
+
+    Randomises the knobs that reach the batched backend: channel count,
+    sensing error profile (including the degenerate 0/1 corners), access
+    policy, fusion ablation, belief tracking, and the deployment shape.
+    """
+    interfering = bool(rng.integers(0, 2))
+    build = interfering_fbs_scenario if interfering else single_fbs_scenario
+    config = build(
+        n_channels=int(rng.integers(1, 7)),
+        p01=float(rng.uniform(0.05, 0.95)),
+        p10=float(rng.uniform(0.05, 0.95)),
+        gamma=float(rng.uniform(0.05, 0.5)),
+        false_alarm=float(rng.choice([0.0, 1.0, rng.uniform(0.05, 0.45)])),
+        miss_detection=float(rng.choice([0.0, 1.0, rng.uniform(0.05, 0.45)])),
+        deadline_slots=int(rng.integers(2, 7)),
+        n_gops=1,
+        seed=int(rng.integers(0, 2**31)),
+    )
+    return config.replace(
+        access_policy=str(rng.choice(["probabilistic", "threshold"])),
+        single_observation_fusion=bool(rng.integers(0, 2)),
+        belief_tracking=bool(rng.integers(0, 2)),
+        realized_throughput=bool(rng.integers(0, 2)),
+    )
+
+
+@pytest.fixture
 def single_config():
     """Small single-FBS scenario config (fast to simulate)."""
     return single_fbs_scenario(n_gops=2, seed=123)

@@ -1,0 +1,148 @@
+"""Seed-stability regression: golden SlotRecord fingerprints.
+
+A fixed seed must keep producing the same simulation trajectory across
+refactors -- any change to how the engine consumes its RNG streams
+(order, count, or batching of draws) silently changes *every* sampled
+result, which no unit test notices.  This suite pins sha256
+fingerprints of canonicalised SlotRecord streams for two reference
+scenarios against goldens committed in ``tests/data/``.
+
+Floats are formatted to 12 significant digits before hashing: enough
+precision that any reordered or dropped RNG draw (values differ in the
+leading digits) changes the fingerprint, while platform-level libm
+differences in the last bits do not.
+
+To regenerate after an *intentional* trajectory change::
+
+    PYTHONPATH=src python -m tests.sim.test_seed_stability
+
+and review the diff of ``tests/data/seed_stability.json`` like code.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scenarios import (
+    interfering_fbs_scenario,
+    single_fbs_scenario,
+)
+from repro.sim.engine import SimulationEngine
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "seed_stability.json"
+
+SCENARIOS = {
+    "single_fbs": lambda: single_fbs_scenario(
+        n_gops=1, n_channels=4, seed=20260806),
+    "interfering_fbs": lambda: interfering_fbs_scenario(
+        n_gops=1, n_channels=4, seed=20260806),
+}
+
+
+def _f(value):
+    """Canonical 12-significant-digit rendering of a float."""
+    return float("%.12g" % float(value))
+
+
+def _canonical_record(record):
+    return {
+        "slot": record.slot,
+        "occupancy": [int(x) for x in record.occupancy],
+        "posteriors": [_f(x) for x in record.access.posteriors],
+        "access_probabilities": [_f(x) for x in
+                                 record.access.access_probabilities],
+        "decisions": [int(x) for x in record.access.decisions],
+        "channel_allocation": {
+            str(fbs): sorted(int(c) for c in channels)
+            for fbs, channels in sorted(record.channel_allocation.items())
+        },
+        "expected_channels": {
+            str(fbs): _f(g)
+            for fbs, g in sorted(record.problem.expected_channels.items())
+        },
+        "users": [
+            {
+                "user_id": user.user_id,
+                "fbs_id": user.fbs_id,
+                "w_prev": _f(user.w_prev),
+                "success_mbs": _f(user.success_mbs),
+                "success_fbs": _f(user.success_fbs),
+                "r_mbs": _f(user.r_mbs),
+                "r_fbs": _f(user.r_fbs),
+                "csi_mbs": None if user.csi_mbs is None else _f(user.csi_mbs),
+                "csi_fbs": None if user.csi_fbs is None else _f(user.csi_fbs),
+            }
+            for user in record.problem.users
+        ],
+        "mbs_user_ids": sorted(record.allocation.mbs_user_ids),
+        "rho_mbs": {str(j): _f(r)
+                    for j, r in sorted(record.allocation.rho_mbs.items())},
+        "rho_fbs": {str(j): _f(r)
+                    for j, r in sorted(record.allocation.rho_fbs.items())},
+        "increments": {str(j): _f(v)
+                       for j, v in sorted(record.increments.items())},
+        "bound_gap": _f(record.bound_gap),
+    }
+
+
+def compute_fingerprint(config):
+    """sha256 over the canonical JSON of the full SlotRecord stream."""
+    engine = SimulationEngine(config)
+    records = [_canonical_record(engine.step())
+               for _ in range(config.n_slots)]
+    payload = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest(), records
+
+
+def _load_goldens():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fingerprint_matches_golden(name):
+    goldens = _load_goldens()
+    fingerprint, records = compute_fingerprint(SCENARIOS[name]())
+    golden = goldens["fingerprints"][name]
+    assert fingerprint == golden, (
+        f"seed-stability fingerprint changed for scenario {name!r}: "
+        f"{fingerprint} != golden {golden}. The engine's sampled "
+        f"trajectory moved -- either an RNG-consumption regression, or an "
+        f"intentional change that requires regenerating the goldens "
+        f"(see this module's docstring). First slot now: "
+        f"{json.dumps(records[0], sort_keys=True)[:400]}")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_first_slot_matches_golden(name):
+    """A readable subset of the golden, so diffs localise the drift."""
+    goldens = _load_goldens()
+    _, records = compute_fingerprint(SCENARIOS[name]())
+    assert records[0] == goldens["first_slots"][name]
+
+
+def test_goldens_cover_exactly_the_scenarios():
+    goldens = _load_goldens()
+    assert sorted(goldens["fingerprints"]) == sorted(SCENARIOS)
+    assert sorted(goldens["first_slots"]) == sorted(SCENARIOS)
+
+
+def regenerate():
+    """Rewrite the golden file from the current implementation."""
+    fingerprints, first_slots = {}, {}
+    for name, build in SCENARIOS.items():
+        fingerprint, records = compute_fingerprint(build())
+        fingerprints[name] = fingerprint
+        first_slots[name] = records[0]
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as handle:
+        json.dump({"fingerprints": fingerprints, "first_slots": first_slots},
+                  handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    regenerate()
