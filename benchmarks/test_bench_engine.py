@@ -20,6 +20,7 @@ import json
 from pathlib import Path
 
 from benchmarks.conftest import BENCH_GOPS, BENCH_RUNS, BENCH_SEED, report
+from repro import obs
 from repro.core.accel import use_acceleration
 from repro.experiments.scenarios import interfering_fbs_scenario
 from repro.sim.checkpoint import run_metrics_to_dict
@@ -29,8 +30,14 @@ from repro.sim.runner import MonteCarloRunner
 #: Required end-to-end engine speedup of the batched backend (ISSUE 4).
 MIN_SPEEDUP = 1.3
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
 #: Where the speedup trajectory accumulates (uploaded by the CI job).
-BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+BENCH_JSON = _REPO_ROOT / "BENCH_engine.json"
+
+#: Telemetry artifacts of the tracing-overhead leg (uploaded by CI).
+BENCH_TRACE = _REPO_ROOT / "BENCH_trace.jsonl"
+BENCH_METRICS = _REPO_ROOT / "BENCH_metrics.prom"
 
 
 def _fingerprint(runs):
@@ -44,6 +51,20 @@ def _timed_runs(config):
     start = time.perf_counter()
     runs = MonteCarloRunner(config, n_runs=BENCH_RUNS).run_all()
     return runs, time.perf_counter() - start
+
+
+def _append_history(entry):
+    """Append one measurement to the ``BENCH_engine.json`` trajectory."""
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
 def _phase_breakdown(config, accelerated):
@@ -72,15 +93,7 @@ def test_bench_engine_acceleration(benchmark):
     scalar_phases = _phase_breakdown(config, accelerated=False)
     batched_phases = _phase_breakdown(config, accelerated=True)
 
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text())
-        except (json.JSONDecodeError, OSError):
-            history = []
-    if not isinstance(history, list):
-        history = [history]
-    history.append({
+    _append_history({
         "benchmark": "engine-acceleration",
         "scenario": "interfering",
         "runs": BENCH_RUNS,
@@ -93,7 +106,6 @@ def test_bench_engine_acceleration(benchmark):
         "scalar_phase_seconds": scalar_phases,
         "batched_phase_seconds": batched_phases,
     })
-    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
     phase_rows = [
         f"{phase:<13}: {scalar_phases.get(phase, 0.0):7.3f} s -> "
@@ -120,3 +132,70 @@ def test_bench_engine_acceleration(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"expected >= {MIN_SPEEDUP}x end-to-end speedup from the batched "
         f"PHY/sensing backend, measured {speedup:.2f}x")
+
+
+def test_bench_tracing_overhead(benchmark):
+    """Observability cost: the same accelerated run with tracing off vs on.
+
+    The tracing-on leg runs under the full surface (``--profile`` spans
+    plus metrics); both legs must produce bit-identical run metrics --
+    telemetry is out-of-band by construction (DESIGN.md section 12) and
+    this benchmark would catch any instrumentation point that leaks into
+    the simulation.  The measured overhead lands in ``BENCH_engine.json``
+    and the produced trace/metrics files are kept as CI artifacts.
+    (The *disabled*-path cost -- obs imported but never configured, the
+    state every other benchmark and the tier-1 suite runs in -- is the
+    tracing-off leg here, i.e. it is already included in every number
+    this file reports.)
+    """
+    config = interfering_fbs_scenario(
+        n_gops=BENCH_GOPS, seed=BENCH_SEED, scheme="proposed-fast")
+    for artifact in (BENCH_TRACE, BENCH_METRICS):
+        if artifact.exists():
+            artifact.unlink()
+
+    def ab_comparison():
+        with use_acceleration(True):
+            off_runs, off_s = _timed_runs(config)
+            obs.configure(trace_path=str(BENCH_TRACE),
+                          metrics_path=str(BENCH_METRICS), profile=True)
+            try:
+                on_runs, on_s = _timed_runs(config)
+            finally:
+                obs.shutdown()
+        return off_runs, off_s, on_runs, on_s
+
+    off_runs, off_s, on_runs, on_s = benchmark.pedantic(
+        ab_comparison, rounds=1, iterations=1)
+    identical = _fingerprint(off_runs) == _fingerprint(on_runs)
+    overhead_pct = (on_s - off_s) / off_s * 100 if off_s > 0 else 0.0
+    trace_events = len(obs.read_trace(str(BENCH_TRACE)))
+
+    _append_history({
+        "benchmark": "tracing-overhead",
+        "scenario": "interfering",
+        "runs": BENCH_RUNS,
+        "gops": BENCH_GOPS,
+        "seed": BENCH_SEED,
+        "tracing_off_seconds": round(off_s, 3),
+        "tracing_on_seconds": round(on_s, 3),
+        "tracing_overhead_pct": round(overhead_pct, 2),
+        "trace_events": trace_events,
+        "bit_identical": identical,
+    })
+
+    report("Observability overhead: tracing+metrics off vs on (accelerated)",
+           "\n".join([
+               f"scenario         : interfering FBSs, proposed-fast, "
+               f"{BENCH_RUNS} runs x {BENCH_GOPS} GOPs",
+               f"tracing off      : {off_s:8.2f} s",
+               f"tracing on       : {on_s:8.2f} s  (profile spans + metrics)",
+               f"overhead         : {overhead_pct:8.2f} %",
+               f"trace events     : {trace_events}",
+               f"bit-identical    : {identical}",
+               f"artifacts        : {BENCH_TRACE.name}, {BENCH_METRICS.name}",
+           ]))
+
+    assert identical, (
+        "run metrics diverged with tracing enabled -- an instrumentation "
+        "point is leaking into the simulation (RNG stream or results)")

@@ -19,6 +19,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.experiments.fig3 import max_improvement_db, run_fig3
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
@@ -64,8 +65,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--profile", action="store_true",
                        help="print per-phase engine timings (sensing/"
                             "access/allocation/transmission) with the "
-                            "timing report; implies collecting telemetry "
-                            "without the live progress lines")
+                            "timing report; with --trace, also collect "
+                            "per-phase and solver spans")
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="append a JSONL span trace of the run to FILE "
+                            "(see repro.obs.trace)")
+        p.add_argument("--metrics", metavar="FILE", default=None,
+                       help="collect solver/access/executor metrics and "
+                            "write a Prometheus-style text dump to FILE")
+        p.add_argument("--log-level", default=None,
+                       choices=("debug", "info", "warning", "error"),
+                       help="enable repro.* logging on stderr at this level")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -79,10 +89,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser = sub.add_parser(name, help=title)
         add_common(sub_parser)
 
+    # fig4a shares the full common flag set (the convergence trace only
+    # uses a subset, but --profile/--progress/--trace behave uniformly
+    # across every subcommand) plus its own solver step size.
     fig4a = sub.add_parser("fig4a", help="Fig. 4(a): dual-variable convergence")
-    fig4a.add_argument("--seed", type=int, default=7)
+    add_common(fig4a)
     fig4a.add_argument("--step-size", type=float, default=0.004)
-    fig4a.add_argument("--output", metavar="FILE", default=None)
 
     simulate = sub.add_parser("simulate", help="run one scenario and print metrics")
     add_common(simulate)
@@ -111,8 +123,41 @@ def _maybe_save(result, args) -> List[str]:
     if not output:
         return []
     from repro.experiments.results_io import save_results
-    path = save_results(result, output)
-    return [f"[saved to {path}]"]
+    path = save_results(
+        result, output,
+        provenance=obs.result_provenance(seed=getattr(args, "seed", None)))
+    lines = [f"[saved to {path}]"]
+    # The full manifest carries wall clock and platform details, so it
+    # goes in a sidecar: the results file itself stays byte-identical
+    # across identical runs.
+    manifest_path = f"{path}.manifest.json"
+    obs.write_manifest(manifest_path, _make_manifest(args))
+    lines.append(f"[manifest at {manifest_path}]")
+    return lines
+
+
+def _base_config(args):
+    """The command's base scenario config (for the manifest fingerprint)."""
+    command = getattr(args, "command", "")
+    scenario = getattr(args, "scenario", None)
+    interfering = (command.startswith("fig6")
+                   or scenario == "interfering")
+    builder = interfering_fbs_scenario if interfering else single_fbs_scenario
+    kwargs = {"seed": getattr(args, "seed", None)}
+    if getattr(args, "gops", None) is not None:
+        kwargs["n_gops"] = args.gops
+    if getattr(args, "scheme", None) is not None:
+        kwargs["scheme"] = args.scheme
+    return builder(**kwargs)
+
+
+def _make_manifest(args) -> dict:
+    return obs.run_manifest(
+        command=getattr(args, "command", ""),
+        config=_base_config(args),
+        seed=getattr(args, "seed", None),
+        extra={"jobs": getattr(args, "jobs", 1),
+               "runs": getattr(args, "runs", None)})
 
 
 def _health_lines(result) -> List[str]:
@@ -232,15 +277,13 @@ def _run_simulate(args) -> str:
     if args.scheme.startswith("proposed") and args.scenario == "interfering":
         lines.append(f"eq. (23) bound : {summary.upper_bound_psnr}")
     if getattr(args, "profile", False) and summary.phase_seconds:
-        lines.append("phase seconds  : " + "; ".join(
-            f"{phase} {seconds:.2f} s"
-            for phase, seconds in summary.phase_seconds.items()))
+        lines.append("phase seconds  : "
+                     + obs.format_phase_seconds(summary.phase_seconds))
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args) -> int:
+    """Run the parsed command (observability already configured)."""
     if args.command == "fig4a":
         result = run_fig4a(seed=args.seed, step_size=args.step_size)
         for line in _maybe_save(result, args):
@@ -263,6 +306,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(_run_figure(name, args))
         print()
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    observing = bool(trace_path or metrics_path
+                     or getattr(args, "log_level", None))
+    if observing:
+        obs.configure(trace_path=trace_path, metrics_path=metrics_path,
+                      log_level=getattr(args, "log_level", None),
+                      profile=getattr(args, "profile", False))
+    try:
+        with obs.maybe_span("run", kind="run", command=args.command):
+            code = _dispatch(args)
+    finally:
+        if observing:
+            obs.shutdown()
+            if trace_path is not None:
+                obs.write_manifest(f"{trace_path}.manifest.json",
+                                   _make_manifest(args))
+    return code
 
 
 if __name__ == "__main__":

@@ -35,6 +35,7 @@ Two solvers are provided:
 
 from __future__ import annotations
 
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -45,6 +46,8 @@ import numpy as np
 from repro.core.accel import acceleration_enabled
 from repro.core.problem import Allocation, SlotProblem
 from repro.core.reference import compile_slot_problem, solve_given_assignment
+from repro.obs.metrics import ITERATION_BUCKETS, global_registry, metrics_enabled
+from repro.obs.trace import active_tracer
 from repro.utils.errors import ConfigurationError, ConvergenceError
 
 #: Multipliers below this are treated as zero when inverting (avoids
@@ -148,6 +151,13 @@ class DualDecompositionSolver:
             Warm-start values ``{station_id: lambda}``; stations not listed
             start from the automatic scale estimate.
         """
+        # Observability: one global read each; both gates are None/False
+        # on the hot path with telemetry off.
+        tracer = active_tracer()
+        if tracer is not None and not tracer.collect_phases:
+            tracer = None
+        solve_start = time.perf_counter() if tracer is not None else 0.0
+
         stations = [0] + problem.fbs_ids
         station_pos = {station: pos for pos, station in enumerate(stations)}
 
@@ -262,6 +272,19 @@ class DualDecompositionSolver:
                         stagnant_checks += 1
                         if stagnant_checks >= _STALL_PATIENCE:
                             break
+
+        if metrics_enabled():
+            registry = global_registry()
+            registry.counter("repro_solver_solves_total",
+                             converged=str(converged).lower()).inc()
+            registry.counter("repro_solver_iterations_total").inc(iterations)
+            registry.histogram("repro_solver_iterations",
+                               buckets=ITERATION_BUCKETS).observe(iterations)
+        if tracer is not None:
+            tracer.emit_span("dual-solve", kind="solver",
+                             seconds=time.perf_counter() - solve_start,
+                             iterations=iterations, converged=converged,
+                             stations=len(stations))
 
         if not converged and self.strict:
             raise ConvergenceError(

@@ -34,6 +34,7 @@ import networkx as nx
 from repro.core.bounds import GreedyStep, GreedyTrace
 from repro.core.dual import DualDecompositionSolver, fast_solve
 from repro.core.problem import Allocation, SlotProblem
+from repro.obs.metrics import global_registry, metrics_enabled
 from repro.utils.errors import ConfigurationError
 
 #: Signature of the inner solver used to evaluate Q(c).
@@ -279,6 +280,10 @@ class GreedyChannelAllocator:
             final_solver = self.solver if self.solver is not None else fast_solve
             final_allocation = final_solver(problem.with_expected_channels(expected))
         trace = GreedyTrace(steps=tuple(steps), q_empty=q_empty, q_final=q_current)
+        if metrics_enabled():
+            registry = global_registry()
+            registry.counter("repro_greedy_q_evaluations_total").inc(evaluations)
+            registry.counter("repro_greedy_q_cache_hits_total").inc(cache_hits)
         return GreedyResult(
             channel_allocation=allocation_map,
             expected_channels=expected,

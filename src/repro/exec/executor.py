@@ -31,9 +31,13 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.exec.plan import Cell, ensure_picklable
+from repro.obs.logging import get_logger
+from repro.obs.metrics import global_registry, metrics_enabled
 from repro.sim import runner as _runner
 from repro.sim.metrics import FailedRun, RunMetrics
 from repro.utils.errors import ConfigurationError
+
+logger = get_logger(__name__)
 
 #: Chunks per worker the default chunk size aims for; small enough to
 #: load-balance scheme-dependent cell costs, large enough to amortise
@@ -156,9 +160,12 @@ class ParallelExecutor(Executor):
         ensure_picklable(cells)
         by_key = {cell.key: cell for cell in cells}
         suspects: List[Cell] = []
+        chunks = self._chunks(cells)
+        logger.info("dispatching %d cells as %d chunks to %d workers",
+                    len(cells), len(chunks), self.jobs)
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {pool.submit(_run_chunk, chunk): chunk
-                       for chunk in self._chunks(cells)}
+                       for chunk in chunks}
             for future in as_completed(futures):
                 chunk = futures[future]
                 try:
@@ -168,6 +175,9 @@ class ParallelExecutor(Executor):
                     # fails with the pool, so the culprit cannot be told
                     # apart from innocent chunk-mates here -- quarantine
                     # all of them below.
+                    logger.warning(
+                        "worker pool broke; quarantining %d cell(s): %s",
+                        len(chunk), ", ".join(c.key for c in chunk))
                     suspects.extend(chunk)
                     continue
                 for key, result, seconds in results:
@@ -189,6 +199,11 @@ class ParallelExecutor(Executor):
             try:
                 [(_, result, seconds)] = future.result()
             except BrokenProcessPool:
+                logger.error("cell %s killed its quarantine worker too; "
+                             "written off as WorkerCrashed", cell.key)
+                if metrics_enabled():
+                    global_registry().counter(
+                        "repro_executor_worker_crashes_total").inc()
                 return CellOutcome(
                     cell=cell,
                     result=FailedRun(

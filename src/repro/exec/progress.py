@@ -14,6 +14,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, TextIO, Tuple
 
 from repro.exec.executor import CellOutcome
+from repro.obs.metrics import (
+    accumulate_phase_seconds,
+    format_phase_seconds,
+    global_registry,
+    metrics_enabled,
+)
 from repro.sim.metrics import RunMetrics
 
 
@@ -121,9 +127,8 @@ class TimingReport:
             lines.append(
                 f"throughput     : {self.n_cells / self.wall_seconds:.2f} cells/s")
         if self.phase_seconds:
-            lines.append("per phase      : " + "; ".join(
-                f"{phase} {seconds:.2f} s"
-                for phase, seconds in self.phase_seconds.items()))
+            lines.append("per phase      : "
+                         + format_phase_seconds(self.phase_seconds))
         scheme_totals = self.per_scheme_seconds()
         if scheme_totals:
             lines.append("per scheme     : " + "; ".join(
@@ -183,10 +188,9 @@ class ProgressTracker:
         self._timings.append(CellTiming(
             key=cell.key, scheme=cell.scheme, point_index=cell.point_index,
             run_index=cell.run_index, seconds=outcome.seconds, ok=ok))
-        for phase, seconds in getattr(outcome.result, "phase_seconds",
-                                      {}).items():
-            self._phase_seconds[phase] = (
-                self._phase_seconds.get(phase, 0.0) + float(seconds))
+        accumulate_phase_seconds(
+            self._phase_seconds,
+            getattr(outcome.result, "phase_seconds", {}))
         self._last = time.perf_counter()
         if self.stream is not None:
             done = len(self._timings)
@@ -206,6 +210,13 @@ class ProgressTracker:
         """
         end = self._last if self._timings else time.perf_counter()
         wall = max(0.0, end - self._start)
-        return TimingReport(timings=tuple(self._timings), wall_seconds=wall,
-                            n_cached=self._n_cached,
-                            phase_seconds=dict(self._phase_seconds))
+        report = TimingReport(timings=tuple(self._timings), wall_seconds=wall,
+                              n_cached=self._n_cached,
+                              phase_seconds=dict(self._phase_seconds))
+        if metrics_enabled():
+            registry = global_registry()
+            registry.gauge("repro_executor_effective_parallelism").set(
+                report.effective_parallelism)
+            registry.gauge("repro_executor_wall_seconds").set(
+                report.wall_seconds)
+        return report

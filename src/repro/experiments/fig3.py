@@ -11,8 +11,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.scenarios import single_fbs_scenario
+from repro.obs.logging import get_logger
 from repro.sim.runner import MonteCarloRunner
 from repro.utils.stats import ConfidenceInterval
+
+logger = get_logger(__name__)
 
 #: Schemes compared in the figure, in plot order.
 FIG3_SCHEMES = ("proposed-fast", "heuristic1", "heuristic2")
@@ -47,6 +50,8 @@ def run_fig3(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     scheme's replications over worker processes (see :mod:`repro.exec`);
     the rows are identical at every worker count.
     """
+    logger.info("fig3: %d runs x %d GOPs, seed %s, schemes %s, jobs %s",
+                n_runs, n_gops, seed, list(schemes), jobs)
     rows = []
     for scheme in schemes:
         config = single_fbs_scenario(n_gops=n_gops, seed=seed, scheme=scheme)

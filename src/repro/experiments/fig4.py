@@ -18,8 +18,11 @@ import numpy as np
 
 from repro.core.dual import DualDecompositionSolver
 from repro.experiments.scenarios import single_fbs_scenario, utilization_to_p01
+from repro.obs.logging import get_logger
 from repro.sim.engine import SimulationEngine
 from repro.sim.runner import SweepResult, sweep
+
+logger = get_logger(__name__)
 
 #: Sweep points exactly as in the paper.
 FIG4B_CHANNELS = (4, 6, 8, 10, 12)
@@ -62,6 +65,8 @@ def run_fig4a(*, seed: int = 7, step_size: float = 0.004,
     by ~500 iterations; the absolute multiplier values are scale-
     dependent and not comparable).
     """
+    logger.info("fig4a: seed %s, step size %s, threshold %s",
+                seed, step_size, threshold)
     config = single_fbs_scenario(seed=seed)
     engine = SimulationEngine(config, record_slots=True)
     record = engine.step()
@@ -89,6 +94,8 @@ def run_fig4b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
     :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
+    logger.info("fig4b: %d runs x %d GOPs, seed %s, channels %s, jobs %s",
+                n_runs, n_gops, seed, list(channels), jobs)
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "n_channels", list(channels), schemes, n_runs=n_runs,
                  checkpoint_path=checkpoint_path, jobs=jobs,
@@ -107,6 +114,8 @@ def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
     :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
+    logger.info("fig4c: %d runs x %d GOPs, seed %s, utilizations %s, jobs %s",
+                n_runs, n_gops, seed, list(utilizations), jobs)
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     result = sweep(
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,

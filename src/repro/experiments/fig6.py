@@ -17,7 +17,10 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 from repro.experiments.scenarios import interfering_fbs_scenario, utilization_to_p01
+from repro.obs.logging import get_logger
 from repro.sim.runner import SweepResult, sweep
+
+logger = get_logger(__name__)
 
 #: Sweep points exactly as in the paper.
 FIG6A_UTILIZATIONS = (0.3, 0.4, 0.5, 0.6, 0.7)
@@ -38,6 +41,8 @@ def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
     :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
+    logger.info("fig6a: %d runs x %d GOPs, seed %s, utilizations %s, jobs %s",
+                n_runs, n_gops, seed, list(utilizations), jobs)
     base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
@@ -57,6 +62,8 @@ def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
     :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
+    logger.info("fig6b: %d runs x %d GOPs, seed %s, error pairs %s, jobs %s",
+                n_runs, n_gops, seed, list(error_pairs), jobs)
     base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(
         base, "sensing_errors", list(error_pairs), schemes, n_runs=n_runs,
@@ -77,6 +84,8 @@ def run_fig6c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
     :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
     """
+    logger.info("fig6c: %d runs x %d GOPs, seed %s, bandwidths %s, jobs %s",
+                n_runs, n_gops, seed, list(bandwidths), jobs)
     base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "common_bandwidth_mbps", list(bandwidths), schemes,
                  n_runs=n_runs, checkpoint_path=checkpoint_path, jobs=jobs,

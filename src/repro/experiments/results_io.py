@@ -23,10 +23,14 @@ import numpy as np
 import repro
 from repro.experiments.fig3 import Fig3Row
 from repro.experiments.fig4 import Fig4aResult
+from repro.obs.export import result_provenance
+from repro.obs.logging import get_logger
 from repro.sim.metrics import MetricsSummary
 from repro.sim.runner import SweepResult
 from repro.utils.errors import ConfigurationError
 from repro.utils.stats import ConfidenceInterval
+
+logger = get_logger(__name__)
 
 #: Schema version of the files written by this module.
 FORMAT_VERSION = 1
@@ -149,7 +153,8 @@ def trace_from_dict(data: dict) -> Fig4aResult:
 
 
 def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
-                 path: Union[str, Path]) -> Path:
+                 path: Union[str, Path], *,
+                 provenance: Union[dict, None] = None) -> Path:
     """Serialise any supported experiment result to a JSON file.
 
     The write is **atomic**: the payload is serialised and fully written
@@ -162,6 +167,14 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
     :class:`ConfigurationError`: Python's ``json`` would otherwise emit
     bare ``NaN`` tokens that standard JSON parsers (and this module's
     loader) cannot read back.
+
+    Every file carries a ``provenance`` header -- seed, backend
+    (scalar/batched), acceleration flag -- so an archived figure is
+    reproducible from the artifact alone.  Pass ``provenance`` (see
+    :func:`repro.obs.export.result_provenance`) to record the root seed;
+    omitted, the header still records backend and acceleration (with
+    ``seed: null``).  Only deterministic values belong here: the header
+    must not break byte-identity between identical runs.
     """
     if isinstance(obj, SweepResult):
         payload = sweep_to_dict(obj)
@@ -172,6 +185,8 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
     else:
         raise ConfigurationError(
             f"unsupported result type {type(obj).__name__}")
+    payload["provenance"] = (dict(provenance) if provenance is not None
+                             else result_provenance())
     try:
         text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
     except ValueError as exc:
@@ -195,7 +210,17 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
         except OSError:
             pass
         raise
+    logger.info("saved %s results to %s", payload["kind"], path)
     return path
+
+
+def read_provenance(path: Union[str, Path]) -> dict:
+    """The ``provenance`` header of a saved results file.
+
+    Empty dict for files written before the header existed.
+    """
+    data = json.loads(Path(path).read_text())
+    return dict(data.get("provenance", {}))
 
 
 def load_results(path: Union[str, Path]):

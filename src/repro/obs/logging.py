@@ -1,0 +1,87 @@
+"""The ``repro.*`` logger hierarchy.
+
+Before this module existed the only narration the system produced was
+ad-hoc writes to whatever stream the caller handed in (the progress
+tracker) -- there was not a single stdlib ``logging`` call in ``src/``.
+Every subsystem now logs through a named child of the ``repro`` root
+logger (``repro.sim.runner``, ``repro.exec.executor``, ...), so an
+operator can turn on exactly the narration they need with standard
+``logging`` configuration, and embedders inherit the usual contract: the
+library is silent by default (a ``NullHandler`` on the root), handlers
+are only installed by the explicit :func:`configure_logging` call the
+CLI's ``--log-level`` flag maps to.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO, Union
+
+#: Name of the hierarchy root every repro logger descends from.
+ROOT_LOGGER = "repro"
+
+#: The handler installed by :func:`configure_logging` (one at a time).
+_handler: Optional[logging.Handler] = None
+
+# Library default: silent unless the embedding application (or
+# configure_logging) says otherwise.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger in the ``repro.*`` hierarchy.
+
+    ``name`` is the dotted path below the root (``"sim.runner"`` gives
+    ``repro.sim.runner``); a name already rooted at ``repro`` is used
+    as-is, so callers may pass ``__name__`` directly.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+def resolve_level(level: Union[int, str]) -> int:
+    """Map a ``--log-level`` value (name or number) to a logging level.
+
+    Raises
+    ------
+    ValueError
+        For a name the stdlib does not know.
+    """
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(level: Union[int, str] = "info",
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install a stream handler on the ``repro`` root logger.
+
+    Idempotent: calling again replaces the previously installed handler
+    (never stacks a second one), so tests and long-lived sessions can
+    reconfigure freely.  Returns the root logger.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    _handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(levelname)-7s %(name)s: %(message)s"))
+    root.addHandler(_handler)
+    root.setLevel(resolve_level(level))
+    return root
+
+
+def reset_logging() -> None:
+    """Remove the handler installed by :func:`configure_logging`."""
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler = None
+    root.setLevel(logging.NOTSET)

@@ -1,0 +1,252 @@
+"""Span tracer writing bounded, append-only JSONL event traces.
+
+Spans nest run -> replication -> slot -> phase, with solver-level child
+spans (``dual-solve``) below the allocation phase.  Each span becomes
+one JSON line when it closes::
+
+    {"kind": "phase", "name": "allocation", "span": 17, "parent": 16,
+     "pid": 4242, "t": 1722950000.123, "dur": 0.0042,
+     "attrs": {"slot": 3}}
+
+Design rules (see DESIGN.md section 12):
+
+* **Zero overhead when disabled.**  Producers call
+  :func:`active_tracer` -- a single module-global read returning
+  ``None`` -- and skip all span bookkeeping when no tracer is active.
+* **Single writer per file.**  A trace file is only ever appended to by
+  the process that opened it.  Under ``--jobs N`` the executor forks
+  workers that inherit the active tracer; the first span recorded in a
+  child notices the PID change and transparently re-opens a per-process
+  sidecar (``<path>.<pid>``), so the parent file never sees interleaved
+  writes.  (This relies on the fork start method -- the Linux default --
+  where children inherit module globals; under spawn, workers simply
+  trace nothing, which is safe but silent.)
+* **Bounded.**  At most ``max_events`` lines are written per file;
+  further spans are counted but dropped, and a final ``trace-summary``
+  event reports the totals so truncation is never silent.
+* **Flush-on-crash.**  Every line is flushed as written, so a trace is
+  readable up to the instant of a crash.
+
+Telemetry stays out-of-band: tracing never touches RNG streams or
+results, so simulation output is byte-identical with tracing on or off.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, List, Optional
+
+#: Default cap on events written per trace file.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class SpanTracer:
+    """Append-only JSONL span/event writer bound to one output path."""
+
+    def __init__(self, path: str, *, max_events: int = DEFAULT_MAX_EVENTS,
+                 collect_phases: bool = True) -> None:
+        self.path = str(path)
+        self.max_events = int(max_events)
+        #: Whether per-phase (and solver) spans are recorded; slot and
+        #: coarser spans are always on.  ``--profile`` forces this True.
+        self.collect_phases = bool(collect_phases)
+        self._pid = os.getpid()
+        self._file: Optional[IO[str]] = open(self.path, "a", encoding="utf-8")
+        self._next_id = 0
+        self._written = 0
+        self._dropped = 0
+        self._stack: List[int] = []
+        self._closed = False
+
+    # Writer plumbing ----------------------------------------------------
+
+    def _writer(self) -> Optional[IO[str]]:
+        """The file for *this* process, re-opening a sidecar after fork.
+
+        A forked worker inherits the parent's open file object; writing
+        to it would interleave with the parent's output.  Detect the PID
+        change and switch to ``<path>.<pid>`` with fresh counters so the
+        single-writer rule holds for every file.
+        """
+        pid = os.getpid()
+        if pid != self._pid:
+            self._pid = pid
+            self._file = open(f"{self.path}.{pid}", "a", encoding="utf-8")
+            self._written = 0
+            self._dropped = 0
+            self._closed = False
+        return self._file
+
+    def _write(self, record: dict) -> None:
+        out = self._writer()
+        if out is None or self._closed:
+            return
+        if self._written >= self.max_events:
+            self._dropped += 1
+            return
+        # Stamp after _writer(): a forked child's first record must carry
+        # the child's pid, which _writer() just detected.
+        record["pid"] = self._pid
+        out.write(json.dumps(record, separators=(",", ":")) + "\n")
+        out.flush()
+        self._written += 1
+
+    def _new_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    # Recording API ------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, *, kind: str = "span", **attrs: object) -> Iterator[int]:
+        """Record a timed span enclosing the ``with`` body.
+
+        Yields the span id; nesting is tracked per process, so a span
+        opened inside another records it as ``parent``.
+        """
+        span_id = self._new_id()
+        parent = self._stack[-1] if self._stack else None
+        self._stack.append(span_id)
+        start_wall = time.time()
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            duration = time.perf_counter() - start
+            if self._stack and self._stack[-1] == span_id:
+                self._stack.pop()
+            record = {"kind": kind, "name": name, "span": span_id,
+                      "parent": parent, "pid": self._pid, "t": start_wall,
+                      "dur": duration}
+            if attrs:
+                record["attrs"] = attrs
+            self._write(record)
+
+    def emit_span(self, name: str, *, kind: str = "span",
+                  seconds: float, **attrs: object) -> int:
+        """Record an externally-timed span ending now.
+
+        For producers that already measure their own duration (the
+        engine's ``_mark_phase``): the span closes at call time with
+        the given length instead of wrapping a ``with`` block.
+        """
+        span_id = self._new_id()
+        parent = self._stack[-1] if self._stack else None
+        record = {"kind": kind, "name": name, "span": span_id,
+                  "parent": parent, "pid": self._pid,
+                  "t": time.time() - seconds, "dur": float(seconds)}
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+        return span_id
+
+    def event(self, name: str, *, kind: str = "event", **attrs: object) -> int:
+        """Record an instantaneous event (e.g. a degradation)."""
+        span_id = self._new_id()
+        parent = self._stack[-1] if self._stack else None
+        record = {"kind": kind, "name": name, "span": span_id,
+                  "parent": parent, "pid": self._pid, "t": time.time()}
+        if attrs:
+            record["attrs"] = attrs
+        self._write(record)
+        return span_id
+
+    # Lifecycle ----------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events dropped in this process because the cap was reached."""
+        return self._dropped
+
+    @property
+    def written(self) -> int:
+        """Events written by this process so far."""
+        return self._written
+
+    def close(self) -> None:
+        """Write the trailing ``trace-summary`` line and close the file.
+
+        Only closes the file owned by the current process; idempotent.
+        """
+        out = self._writer()
+        if out is None or self._closed:
+            return
+        summary = {"kind": "trace-summary", "name": "trace-summary",
+                   "span": self._new_id(), "parent": None, "pid": self._pid,
+                   "t": time.time(),
+                   "attrs": {"written": self._written,
+                             "dropped": self._dropped,
+                             "max_events": self.max_events}}
+        out.write(json.dumps(summary, separators=(",", ":")) + "\n")
+        out.flush()
+        self._closed = True
+        out.close()
+        self._file = None
+
+
+#: The process-wide active tracer (None = tracing disabled).
+_ACTIVE: Optional[SpanTracer] = None
+
+
+def active_tracer() -> Optional[SpanTracer]:
+    """The active tracer, or ``None`` when tracing is off.
+
+    This is the zero-overhead gate: every producer checks it before any
+    span bookkeeping, and with tracing disabled the check is a single
+    module attribute read.
+    """
+    return _ACTIVE
+
+
+def activate(tracer: SpanTracer) -> SpanTracer:
+    """Install ``tracer`` as the process-wide active tracer."""
+    global _ACTIVE
+    if _ACTIVE is not None and _ACTIVE is not tracer:
+        _ACTIVE.close()
+    _ACTIVE = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Close and clear the active tracer (no-op when tracing is off)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        _ACTIVE.close()
+        _ACTIVE = None
+
+
+@contextmanager
+def maybe_span(name: str, *, kind: str = "span", **attrs: object) -> Iterator[Optional[int]]:
+    """``tracer.span(...)`` if tracing is on, else a no-op context."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, kind=kind, **attrs) as span_id:
+        yield span_id
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a JSONL trace file back into a list of event dicts.
+
+    Tolerates a truncated final line (crash mid-write): complete lines
+    before it are still returned.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return events
+
+
+atexit.register(deactivate)

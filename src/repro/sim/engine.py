@@ -36,6 +36,8 @@ from repro.core.bounds import GreedyTrace, tighter_upper_bound
 from repro.core.greedy import GreedyChannelAllocator
 from repro.core.heuristics import EqualAllocationHeuristic
 from repro.core.problem import Allocation, SlotProblem, UserDemand
+from repro.obs.metrics import PSNR_BUCKETS, global_registry, metrics_enabled
+from repro.obs.trace import active_tracer
 from repro.sensing.access import (
     AccessDecision,
     AccessPolicy,
@@ -228,10 +230,13 @@ class SimulationEngine:
         """Number of slots simulated so far."""
         return self._slot
 
-    def _mark_phase(self, phase: str, tick: float) -> float:
+    def _mark_phase(self, phase: str, tick: float, tracer=None) -> float:
         """Charge the time since ``tick`` to ``phase``; return a new mark."""
         now = time.perf_counter()
         self.phase_seconds[phase] += now - tick
+        if tracer is not None:
+            tracer.emit_span(phase, kind="phase", seconds=now - tick,
+                             slot=self._slot)
         return now
 
     def _nal_quantum(self, sequence, rd_scale: float) -> float:
@@ -455,9 +460,23 @@ class SimulationEngine:
         AllocationFailedError
             When every allocator in the fallback chain fails.
         """
+        # Observability gate: with tracing off this is one global read
+        # and a plain call into the slot body, so the disabled path adds
+        # nothing measurable.  Phase/solver spans additionally require
+        # collect_phases (the --profile contract).
+        tracer = active_tracer()
+        if tracer is None:
+            return self._step(None)
+        with tracer.span("slot", kind="slot", slot=self._slot):
+            return self._step(tracer if tracer.collect_phases else None)
+
+    def _step(self, tracer) -> SlotRecord:
+        """The slot body; ``tracer`` (or None) receives phase spans."""
         config = self.config
         fault_plan = config.fault_plan
         accelerated = acceleration_enabled()
+        observing = metrics_enabled()
+        n_degraded_before = len(self.degradations) if observing else 0
         tick = time.perf_counter()
         state = self.spectrum.advance()
 
@@ -467,7 +486,7 @@ class SimulationEngine:
         else:
             posteriors = self._sense_fuse_scalar(state.occupancy)
 
-        tick = self._mark_phase("sensing", tick)
+        tick = self._mark_phase("sensing", tick, tracer)
 
         # --- Access decision ------------------------------------------------
         access = (self.access_policy.decide_batched(posteriors) if accelerated
@@ -475,7 +494,18 @@ class SimulationEngine:
         self.collisions.record(access, state.occupancy)
         available = access.available_channels.tolist()
         posterior_map = {m: float(posteriors[m]) for m in range(config.n_channels)}
-        tick = self._mark_phase("access", tick)
+        if observing:
+            registry = global_registry()
+            accessed = access.decisions == 0
+            n_accessed = int(accessed.sum())
+            registry.counter("repro_access_decisions_total",
+                             decision="access").inc(n_accessed)
+            registry.counter("repro_access_decisions_total",
+                             decision="deny").inc(
+                                 access.decisions.size - n_accessed)
+            registry.counter("repro_access_collisions_total").inc(
+                int((accessed & (state.occupancy == 1)).sum()))
+        tick = self._mark_phase("access", tick, tracer)
 
         # --- Channel + time-share allocation --------------------------------
         csi = self._draw_csi_batched() if accelerated else self._draw_csi()
@@ -530,7 +560,7 @@ class SimulationEngine:
         allocation, degradations = self._fallback_chain.allocate(
             problem, slot=self._slot, inject_nonconvergence=inject)
         self.degradations.extend(degradations)
-        tick = self._mark_phase("allocation", tick)
+        tick = self._mark_phase("allocation", tick, tracer)
 
         # --- Transmission + ACK phase ---------------------------------------
         # Block fading: the margin drawn at slot start decides every packet
@@ -573,7 +603,15 @@ class SimulationEngine:
                 clock.quantum_db = self._nal_quantum(
                     clock.sequence, self._rd_scale[user_id])
 
-        self._mark_phase("transmission", tick)
+        self._mark_phase("transmission", tick, tracer)
+        if observing:
+            # One funnel for every degradation recorded this slot --
+            # fallback-chain events and the engine's own sensing-outage
+            # events both land in self.degradations.
+            registry = global_registry()
+            for event in self.degradations[n_degraded_before:]:
+                registry.counter("repro_degradations_total",
+                                 cause=event.cause).inc()
         self._slot += 1
         record = SlotRecord(
             slot=self._slot,
@@ -594,10 +632,18 @@ class SimulationEngine:
         """Simulate the configured horizon and return aggregate metrics."""
         for _ in range(self.config.n_slots):
             self.step()
-        return compute_run_metrics(
+        metrics = compute_run_metrics(
             clocks=self.clocks,
             collision_rates=self.collisions.collision_rates(),
             bound_gaps_per_gop=self._bound_gaps_per_gop,
             degradation_events=self.degradations,
             phase_seconds=self.phase_seconds,
         )
+        if metrics_enabled():
+            registry = global_registry()
+            registry.counter("repro_slots_total").inc(self._slot)
+            for user_id, psnr in metrics.per_user_psnr.items():
+                registry.histogram("repro_user_psnr_db",
+                                   buckets=PSNR_BUCKETS,
+                                   user=str(user_id)).observe(psnr)
+        return metrics

@@ -26,7 +26,11 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.problem import Allocation, SlotProblem
+from repro.obs.logging import get_logger
+from repro.obs.trace import active_tracer
 from repro.utils.errors import AllocationFailedError, ConvergenceError, ReproError
+
+logger = get_logger(__name__)
 
 #: Feasibility slack when validating per-station time-share sums.
 _FEASIBILITY_TOL = 1e-6
@@ -126,6 +130,16 @@ def check_allocation(problem: SlotProblem,
     return None
 
 
+def _note_degradation(event: DegradationEvent) -> None:
+    """Narrate one degradation on the log and the active trace."""
+    logger.warning("slot %d: %s degraded (%s) -> %s",
+                   event.slot, event.allocator, event.cause, event.fallback)
+    tracer = active_tracer()
+    if tracer is not None:
+        tracer.event("degradation", slot=event.slot, cause=event.cause,
+                     allocator=event.allocator, fallback=event.fallback)
+
+
 class FallbackChain:
     """Ordered chain of allocators with validation between links.
 
@@ -182,6 +196,7 @@ class FallbackChain:
                     slot=slot, cause="injected-nonconvergence",
                     allocator=name, fallback=next_name,
                     detail="fault harness forced non-convergence"))
+                _note_degradation(events[-1])
                 continue
             try:
                 allocation = allocator.allocate(problem)
@@ -190,11 +205,13 @@ class FallbackChain:
                     slot=slot, cause="convergence", allocator=name,
                     fallback=next_name, residual=exc.residual,
                     detail=str(exc)))
+                _note_degradation(events[-1])
                 continue
             except ReproError as exc:
                 events.append(DegradationEvent(
                     slot=slot, cause="allocator-error", allocator=name,
                     fallback=next_name, detail=f"{type(exc).__name__}: {exc}"))
+                _note_degradation(events[-1])
                 continue
             cause = check_allocation(problem, allocation)
             if cause is None:
@@ -202,6 +219,9 @@ class FallbackChain:
             events.append(DegradationEvent(
                 slot=slot, cause=cause, allocator=name, fallback=next_name,
                 detail=f"allocation rejected by validation ({cause})"))
+            _note_degradation(events[-1])
+        logger.error("slot %d: all %d allocators failed", slot,
+                     len(self.allocators))
         raise AllocationFailedError(
             f"all {len(self.allocators)} allocators failed on slot {slot} "
             f"({', '.join(f'{e.allocator}: {e.cause}' for e in events)})",

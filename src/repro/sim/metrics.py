@@ -17,6 +17,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import accumulate_phase_seconds
 from repro.sim.fallback import DegradationEvent
 from repro.utils.stats import ConfidenceInterval, jain_fairness_index, mean_confidence_interval
 from repro.video.gop import GopClock
@@ -54,6 +55,13 @@ class RunMetrics:
         ``access``, ``allocation``, ``transmission``).  Profiling
         telemetry only: deliberately excluded from checkpoint/result
         serialization, which must stay deterministic.
+    obs_snapshot:
+        :meth:`repro.obs.metrics.MetricsRegistry.snapshot` of the
+        metrics recorded during this replication, when metric collection
+        was enabled (empty otherwise).  Telemetry like
+        ``phase_seconds``: rides the run back from worker processes so
+        the parent can merge it, and is excluded from checkpoint/result
+        serialization.
     """
 
     per_user_psnr: Dict[int, float]
@@ -64,6 +72,7 @@ class RunMetrics:
     bound_gaps_per_gop: Sequence[float] = field(default_factory=tuple)
     degradation_events: Sequence[DegradationEvent] = field(default_factory=tuple)
     phase_seconds: Mapping[str, float] = field(default_factory=dict)
+    obs_snapshot: Mapping[str, object] = field(default_factory=dict)
 
     @property
     def n_users(self) -> int:
@@ -237,8 +246,7 @@ def summarize_runs(runs: Sequence[RunMetrics], confidence: float = 0.95,
             raise ValueError("all runs must cover the same users")
     phase_totals: Dict[str, float] = {}
     for run in runs:
-        for phase, seconds in run.phase_seconds.items():
-            phase_totals[phase] = phase_totals.get(phase, 0.0) + seconds
+        accumulate_phase_seconds(phase_totals, run.phase_seconds)
     return MetricsSummary(
         mean_psnr=mean_confidence_interval(
             [run.mean_psnr for run in runs], confidence),

@@ -23,10 +23,13 @@ output is bit-identical at every worker count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.logging import get_logger
+from repro.obs.metrics import global_registry, metrics_enabled, scoped_registry
+from repro.obs.trace import maybe_span
 from repro.sim.checkpoint import SweepCheckpoint
 from repro.sim.config import ScenarioConfig
 from repro.sim.engine import SimulationEngine
@@ -38,6 +41,8 @@ from repro.sim.metrics import (
 )
 from repro.utils.errors import ConfigurationError, ReproError
 from repro.utils.rng import derive_seed
+
+logger = get_logger(__name__)
 
 #: Attempts per replication: the first try plus one fresh-seed retry.
 MAX_ATTEMPTS = 2
@@ -62,10 +67,31 @@ def execute_run(config: ScenarioConfig, run_index: int
         if plan is not None and hasattr(plan, "begin_run"):
             plan.begin_run(run_index, attempt)
         try:
-            engine = SimulationEngine(config.with_seed(seed))
-            return engine.run(), None
+            with maybe_span("replication", kind="replication", run=run_index,
+                            attempt=attempt, seed=seed, scheme=config.scheme):
+                engine = SimulationEngine(config.with_seed(seed))
+                if metrics_enabled():
+                    # Record the replication against a private registry so
+                    # its snapshot can ride back on the RunMetrics (from a
+                    # worker process or in-line) and be merged by the
+                    # parent -- totals come out identical at any --jobs N.
+                    with scoped_registry() as registry:
+                        metrics = engine.run()
+                    metrics = replace(metrics,
+                                      obs_snapshot=registry.snapshot())
+                else:
+                    metrics = engine.run()
+            return metrics, None
         except ReproError as exc:
             last_error = exc
+            if attempt + 1 < MAX_ATTEMPTS:
+                logger.warning(
+                    "replication %d attempt %d failed (%s: %s); retrying "
+                    "with a fresh derived seed", run_index, attempt,
+                    type(exc).__name__, exc)
+    logger.error("replication %d lost after %d attempts (%s: %s)",
+                 run_index, MAX_ATTEMPTS, type(last_error).__name__,
+                 last_error)
     return None, FailedRun(
         run_index=run_index,
         error_type=type(last_error).__name__,
@@ -73,6 +99,23 @@ def execute_run(config: ScenarioConfig, run_index: int
         attempts=MAX_ATTEMPTS,
         seeds=tuple(seeds),
     )
+
+
+def _absorb_outcome(outcome) -> None:
+    """Fold one executed cell's telemetry into the parent registry.
+
+    Called from the parent-side collection loops only (never in
+    workers), mirroring the single-writer checkpointing rule.
+    """
+    if not metrics_enabled():
+        return
+    registry = global_registry()
+    registry.counter("repro_executor_cells_total").inc()
+    registry.counter("repro_executor_busy_seconds_total").inc(
+        max(0.0, float(outcome.seconds)))
+    snapshot = getattr(outcome.result, "obs_snapshot", None)
+    if snapshot:
+        registry.absorb(snapshot)
 
 
 class MonteCarloRunner:
@@ -136,11 +179,15 @@ class MonteCarloRunner:
         from repro.exec.executor import make_executor
         from repro.exec.plan import plan_campaign
 
+        logger.info("campaign: %d replications, scheme %s, seed %s, jobs %s",
+                    self.n_runs, self.config.scheme, self.config.seed,
+                    self.jobs)
         plan = plan_campaign(self.config, self.n_runs)
         executor = self._executor if self._executor is not None \
             else make_executor(self.jobs)
         by_index: Dict[int, Union[RunMetrics, FailedRun]] = {}
         for outcome in executor.run(plan.cells):
+            _absorb_outcome(outcome)
             by_index[outcome.cell.run_index] = outcome.result
         runs: List[RunMetrics] = []
         failures: List[FailedRun] = []
@@ -287,6 +334,8 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         else:
             pending.append(cell)
 
+    logger.info("sweep %s: %d cells planned, %d pending, %d from checkpoint",
+                parameter, len(plan.cells), len(pending), len(completed))
     if progress is not None and hasattr(progress, "begin"):
         progress.begin(len(pending), cached=len(completed))
     for outcome in executor.run(pending):
@@ -294,6 +343,7 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         # and only the parent touches the file, as soon as each arrives.
         if checkpoint is not None:
             checkpoint.record(outcome.cell.key, outcome.result)
+        _absorb_outcome(outcome)
         completed[outcome.cell.key] = outcome.result
         if progress is not None and hasattr(progress, "observe"):
             progress.observe(outcome)

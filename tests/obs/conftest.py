@@ -1,0 +1,23 @@
+"""Shared isolation for the observability suite.
+
+Every test runs with a clean slate: no active tracer, metrics disabled
+on an empty registry, no log handler.  The obs package is process-global
+by design, so without this fixture one test's leftover tracer would
+silently instrument the next test's engine run.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.deactivate()
+    obs.enable_metrics(False)
+    obs.reset_metrics()
+    obs.reset_logging()
+    yield
+    obs.shutdown()
+    obs.reset_metrics()
+    obs.reset_logging()

@@ -1,0 +1,129 @@
+"""Exporters: Prometheus text, manifests, fingerprints, provenance."""
+
+import io
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.results_io import read_provenance, save_results
+from repro.experiments.scenarios import (
+    interfering_fbs_scenario,
+    single_fbs_scenario,
+)
+from repro.obs.export import (
+    config_fingerprint,
+    prometheus_text,
+    read_manifest,
+    result_provenance,
+    run_manifest,
+    write_manifest,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestPrometheusText:
+    def test_counters_gauges_and_cumulative_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_slots_total").inc(20)
+        registry.counter("repro_access_decisions_total", decision="deny").inc(3)
+        registry.gauge("repro_executor_wall_seconds").set(1.5)
+        histogram = registry.histogram("repro_solver_iterations",
+                                       buckets=(10.0, 100.0))
+        for value in (5, 50, 500):
+            histogram.observe(value)
+        text = prometheus_text(registry)
+        lines = text.splitlines()
+        assert "# TYPE repro_slots_total counter" in lines
+        assert "repro_slots_total 20" in lines
+        assert 'repro_access_decisions_total{decision="deny"} 3' in lines
+        assert "# TYPE repro_executor_wall_seconds gauge" in lines
+        assert "repro_executor_wall_seconds 1.5" in lines
+        # Buckets render cumulatively, +Inf equals the total count.
+        assert 'repro_solver_iterations_bucket{le="10"} 1' in lines
+        assert 'repro_solver_iterations_bucket{le="100"} 2' in lines
+        assert 'repro_solver_iterations_bucket{le="+Inf"} 3' in lines
+        assert "repro_solver_iterations_sum 555" in lines
+        assert "repro_solver_iterations_count 3" in lines
+
+    def test_identical_registries_render_identically(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b").inc(1)
+            registry.counter("a").inc(2)
+            return registry
+
+        assert prometheus_text(build()) == prometheus_text(build())
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_write_metrics_to_path_and_stream(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("repro_slots_total").inc(1)
+        path = tmp_path / "m.prom"
+        write_metrics(str(path), registry)
+        stream = io.StringIO()
+        write_metrics(stream, registry)
+        assert path.read_text() == stream.getvalue()
+        assert path.read_text() == prometheus_text(registry)
+
+
+class TestConfigFingerprint:
+    def test_stable_across_equal_configs(self):
+        a = single_fbs_scenario(seed=7)
+        b = single_fbs_scenario(seed=7)
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_sensitive_to_seed_and_scenario(self):
+        base = single_fbs_scenario(seed=7)
+        assert config_fingerprint(base) != config_fingerprint(
+            single_fbs_scenario(seed=8))
+        assert config_fingerprint(base) != config_fingerprint(
+            base.replace(n_channels=base.n_channels + 2))
+        assert config_fingerprint(base) != config_fingerprint(
+            interfering_fbs_scenario(seed=7))
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        config = single_fbs_scenario(seed=7)
+        manifest = run_manifest(command="fig4b", config=config, seed=7,
+                                extra={"jobs": 2})
+        path = tmp_path / "run.manifest.json"
+        write_manifest(str(path), manifest)
+        loaded = read_manifest(str(path))
+        assert loaded == manifest
+        assert loaded["command"] == "fig4b"
+        assert loaded["seed"] == 7
+        assert loaded["jobs"] == 2
+        assert loaded["config_fingerprint"] == config_fingerprint(config)
+        assert loaded["backend"] in ("batched", "scalar")
+        assert isinstance(loaded["wall_clock"], float)
+
+    def test_config_optional(self):
+        manifest = run_manifest(command="simulate")
+        assert manifest["config_fingerprint"] is None
+        assert manifest["seed"] is None
+
+
+class TestResultProvenance:
+    def test_triple_is_consistent(self):
+        provenance = result_provenance(seed=11)
+        assert provenance["seed"] == 11
+        assert provenance["acceleration"] == (
+            provenance["backend"] == "batched")
+
+    def test_saved_results_carry_provenance_header(self, tmp_path):
+        rows = run_fig3(n_runs=1, n_gops=1, schemes=("heuristic1",))
+        path = tmp_path / "fig3.json"
+        save_results(rows, path, provenance=result_provenance(seed=7))
+        header = read_provenance(path)
+        assert header["seed"] == 7
+        assert header["backend"] in ("batched", "scalar")
+
+    def test_save_without_provenance_still_records_backend(self, tmp_path):
+        rows = run_fig3(n_runs=1, n_gops=1, schemes=("heuristic1",))
+        path = tmp_path / "fig3.json"
+        save_results(rows, path)
+        header = read_provenance(path)
+        assert header["seed"] is None
+        assert "backend" in header and "acceleration" in header

@@ -1,0 +1,75 @@
+"""The repro.* logger hierarchy and its handler lifecycle."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    ROOT_LOGGER,
+    configure_logging,
+    get_logger,
+    reset_logging,
+    resolve_level,
+)
+
+
+class TestHierarchy:
+    def test_names_root_under_repro(self):
+        assert get_logger("sim.runner").name == "repro.sim.runner"
+
+    def test_module_dunder_name_used_as_is(self):
+        assert get_logger("repro.exec.executor").name == "repro.exec.executor"
+        assert get_logger(ROOT_LOGGER).name == ROOT_LOGGER
+
+    def test_silent_by_default(self):
+        # Library contract: a NullHandler on the root, nothing on stderr.
+        root = logging.getLogger(ROOT_LOGGER)
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+class TestResolveLevel:
+    def test_names_and_ints(self):
+        assert resolve_level("debug") == logging.DEBUG
+        assert resolve_level("WARNING") == logging.WARNING
+        assert resolve_level(logging.ERROR) == logging.ERROR
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            resolve_level("chatty")
+
+
+class TestConfigureLogging:
+    def test_child_messages_reach_configured_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("sim.runner").info("sweep %s: %d cells", "fig4b", 30)
+        output = stream.getvalue()
+        assert "repro.sim.runner" in output
+        assert "sweep fig4b: 30 cells" in output
+        assert "INFO" in output
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        logger = get_logger("sim.fallback")
+        logger.info("invisible")
+        logger.warning("slot 3: proposed degraded")
+        output = stream.getvalue()
+        assert "invisible" not in output
+        assert "degraded" in output
+
+    def test_reconfigure_replaces_handler_not_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging("info", stream=first)
+        configure_logging("info", stream=second)
+        get_logger("cli").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+
+    def test_reset_removes_handler(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        reset_logging()
+        get_logger("cli").info("after reset")
+        assert stream.getvalue() == ""

@@ -1,0 +1,158 @@
+"""MetricsRegistry: primitives, snapshot/absorb merging, scoping."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    accumulate_phase_seconds,
+    enable_metrics,
+    format_phase_seconds,
+    global_registry,
+    metrics_enabled,
+    sample_name,
+    scoped_registry,
+    split_sample_name,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2.0
+
+    def test_histogram_buckets_and_totals(self):
+        histogram = Histogram(buckets=(1.0, 5.0, 10.0))
+        for value in (0.5, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.sum == 110.5
+        assert histogram.count == 4
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_boundary_observation_lands_in_le_bucket(self):
+        histogram = Histogram(buckets=(1.0, 5.0))
+        histogram.observe(5.0)
+        assert histogram.counts == [0, 1, 0]
+
+
+class TestSampleNames:
+    def test_labels_sorted_into_canonical_key(self):
+        key = sample_name("repro_degradations_total",
+                          {"cause": "solver", "allocator": "greedy"})
+        assert key == 'repro_degradations_total{allocator="greedy",cause="solver"}'
+        assert split_sample_name(key) == (
+            "repro_degradations_total", 'allocator="greedy",cause="solver"')
+
+    def test_unlabelled_name_round_trips(self):
+        assert sample_name("repro_slots_total", {}) == "repro_slots_total"
+        assert split_sample_name("repro_slots_total") == ("repro_slots_total", "")
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instance(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", scheme="fast")
+        b = registry.counter("hits", scheme="fast")
+        assert a is b
+        assert registry.counter("hits", scheme="slow") is not a
+        assert len(registry) == 2
+
+    def test_histogram_bucket_drift_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("latency", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("latency", buckets=(1.0, 3.0))
+
+    def test_snapshot_absorb_round_trip(self):
+        source = MetricsRegistry()
+        source.counter("solves", converged="true").inc(3)
+        source.gauge("parallelism").set(1.7)
+        source.histogram("iters", buckets=(10.0, 100.0)).observe(42)
+        target = MetricsRegistry()
+        target.absorb(source.snapshot())
+        assert target.counters() == {'solves{converged="true"}': 3.0}
+        assert target.gauges() == {"parallelism": 1.7}
+        histogram = target.histograms()["iters"]
+        assert histogram.counts == [0, 1, 0]
+        assert histogram.sum == 42.0
+
+    def test_merge_across_replications_adds_counts(self):
+        # The sweep-level fold: one registry per replication, all merged
+        # into the parent -- totals must be the sums.
+        total = MetricsRegistry()
+        for iterations in (30, 70, 200):
+            replication = MetricsRegistry()
+            replication.counter("repro_solver_iterations_total").inc(iterations)
+            replication.histogram(
+                "repro_solver_iterations",
+                buckets=(50.0, 100.0)).observe(iterations)
+            total.merge(replication)
+        assert total.counters() == {"repro_solver_iterations_total": 300.0}
+        histogram = total.histograms()["repro_solver_iterations"]
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+
+    def test_absorb_bucket_layout_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("iters", buckets=(1.0,)).observe(0.5)
+        target = MetricsRegistry()
+        target.histogram("iters", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            target.absorb(source.snapshot())
+
+
+class TestGlobalState:
+    def test_disabled_by_default(self):
+        assert not metrics_enabled()
+
+    def test_enable_disable(self):
+        enable_metrics(True)
+        assert metrics_enabled()
+        enable_metrics(False)
+        assert not metrics_enabled()
+
+    def test_scoped_registry_swaps_and_restores(self):
+        outer = global_registry()
+        outer.counter("outer").inc()
+        with scoped_registry() as inner:
+            assert global_registry() is inner
+            assert inner is not outer
+            global_registry().counter("inner").inc()
+        assert global_registry() is outer
+        assert "inner" not in outer.counters()
+        assert inner.counters() == {"inner": 1.0}
+
+    def test_scoped_registry_restores_on_exception(self):
+        outer = global_registry()
+        with pytest.raises(RuntimeError):
+            with scoped_registry():
+                raise RuntimeError("boom")
+        assert global_registry() is outer
+
+
+class TestPhaseHelpers:
+    def test_accumulate_folds_into_totals(self):
+        totals = {}
+        accumulate_phase_seconds(totals, {"sensing": 1.0, "allocation": 2.0})
+        accumulate_phase_seconds(totals, {"allocation": 0.5, "transmission": 3.0})
+        assert totals == {"sensing": 1.0, "allocation": 2.5, "transmission": 3.0}
+
+    def test_format_matches_report_fragment(self):
+        rendered = format_phase_seconds({"sensing": 1.0, "allocation": 2.5})
+        assert rendered == "sensing 1.00 s; allocation 2.50 s"

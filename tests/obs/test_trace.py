@@ -1,0 +1,189 @@
+"""SpanTracer: nesting, bounding, flush-on-crash, fork sidecars."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.obs.trace import (
+    SpanTracer,
+    activate,
+    active_tracer,
+    deactivate,
+    maybe_span,
+    read_trace,
+)
+
+
+def _by_name(events, name):
+    return [e for e in events if e["name"] == name]
+
+
+class TestSpanNesting:
+    def test_child_records_parent_span_id(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("run", kind="run"):
+            with tracer.span("replication", kind="replication", run=0):
+                with tracer.span("slot", kind="slot", slot=3):
+                    pass
+        tracer.close()
+        events = read_trace(tracer.path)
+        run, = _by_name(events, "run")
+        rep, = _by_name(events, "replication")
+        slot, = _by_name(events, "slot")
+        assert run["parent"] is None
+        assert rep["parent"] == run["span"]
+        assert slot["parent"] == rep["span"]
+        assert slot["attrs"] == {"slot": 3}
+        # Children close (and are written) before their parents.
+        ids = [e["span"] for e in events if e["kind"] != "trace-summary"]
+        assert ids == [slot["span"], rep["span"], run["span"]]
+
+    def test_emit_span_and_event_nest_under_open_span(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("slot", kind="slot") as slot_id:
+            tracer.emit_span("allocation", kind="phase", seconds=0.25)
+            tracer.event("degradation", cause="solver")
+        tracer.close()
+        events = read_trace(tracer.path)
+        phase, = _by_name(events, "allocation")
+        degradation, = _by_name(events, "degradation")
+        assert phase["parent"] == slot_id
+        assert phase["dur"] == 0.25
+        assert degradation["parent"] == slot_id
+        assert degradation["attrs"] == {"cause": "solver"}
+
+    def test_span_ids_unique_and_increasing(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        for i in range(5):
+            with tracer.span("slot", slot=i):
+                pass
+        tracer.close()
+        ids = [e["span"] for e in read_trace(tracer.path)]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+
+class TestBounding:
+    def test_cap_drops_excess_and_summary_reports_it(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"), max_events=3)
+        for i in range(10):
+            tracer.event("tick", i=i)
+        assert tracer.written == 3
+        assert tracer.dropped == 7
+        tracer.close()
+        events = read_trace(tracer.path)
+        # 3 events + the trace-summary trailer, which is always written.
+        assert len(events) == 4
+        summary = events[-1]
+        assert summary["kind"] == "trace-summary"
+        assert summary["attrs"] == {"written": 3, "dropped": 7,
+                                    "max_events": 3}
+
+    def test_close_is_idempotent(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        tracer.event("tick")
+        tracer.close()
+        tracer.close()
+        events = read_trace(tracer.path)
+        assert [e["kind"] for e in events] == ["event", "trace-summary"]
+
+
+class TestFlushOnCrash:
+    def test_events_readable_without_close(self, tmp_path):
+        # A crash never calls close(); every line must already be on disk.
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("slot", slot=0):
+            pass
+        tracer.event("degradation", cause="solver")
+        events = read_trace(tracer.path)
+        assert [e["name"] for e in events] == ["slot", "degradation"]
+
+    def test_read_trace_tolerates_truncated_final_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        tracer.event("first")
+        tracer.event("second")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind":"event","name":"torn","spa')
+        events = read_trace(str(path))
+        assert [e["name"] for e in events] == ["first", "second"]
+
+
+class TestActivation:
+    def test_active_tracer_gate(self, tmp_path):
+        assert active_tracer() is None
+        tracer = activate(SpanTracer(str(tmp_path / "t.jsonl")))
+        assert active_tracer() is tracer
+        deactivate()
+        assert active_tracer() is None
+        # deactivate() closed the tracer: the summary trailer is on disk.
+        assert read_trace(tracer.path)[-1]["kind"] == "trace-summary"
+
+    def test_maybe_span_noop_when_disabled(self, tmp_path):
+        with maybe_span("run", kind="run") as span_id:
+            assert span_id is None
+        tracer = activate(SpanTracer(str(tmp_path / "t.jsonl")))
+        with maybe_span("run", kind="run") as span_id:
+            assert span_id is not None
+        deactivate()
+        assert _by_name(read_trace(tracer.path), "run")
+
+    def test_activate_replacement_closes_previous(self, tmp_path):
+        first = activate(SpanTracer(str(tmp_path / "a.jsonl")))
+        activate(SpanTracer(str(tmp_path / "b.jsonl")))
+        assert read_trace(first.path)[-1]["kind"] == "trace-summary"
+        deactivate()
+
+
+def _child_traces(tracer, queue):
+    tracer.event("from-child")
+    tracer.close()
+    queue.put(os.getpid())
+
+
+class TestForkSidecar:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="fork start method unavailable")
+    def test_forked_child_writes_pid_sidecar(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        tracer.event("from-parent")
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.SimpleQueue()
+        proc = ctx.Process(target=_child_traces, args=(tracer, queue))
+        proc.start()
+        proc.join()
+        assert proc.exitcode == 0
+        child_pid = queue.get()
+        tracer.close()
+
+        parent_events = read_trace(str(path))
+        assert [e["name"] for e in parent_events] == [
+            "from-parent", "trace-summary"]
+        assert all(e["pid"] == os.getpid() for e in parent_events)
+
+        sidecar = f"{path}.{child_pid}"
+        child_events = read_trace(sidecar)
+        assert [e["name"] for e in child_events] == [
+            "from-child", "trace-summary"]
+        assert all(e["pid"] == child_pid for e in child_events)
+        # Fresh counters in the child: its summary counts only its line.
+        assert child_events[-1]["attrs"]["written"] == 1
+
+
+class TestWireFormat:
+    def test_one_compact_json_object_per_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        with tracer.span("slot", kind="slot", slot=0):
+            pass
+        tracer.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert " " not in line  # separators=(",", ":") -- compact
+            record = json.loads(line)
+            assert {"kind", "name", "span", "parent", "pid", "t"} <= set(record)
