@@ -11,21 +11,40 @@ Usage (after ``pip install -e .``)::
 
 Each figure command prints the same rows/series the paper's figure
 reports (see EXPERIMENTS.md for the committed reference output).
+
+Exit codes form a contract CI and job-service callers can assert:
+
+* ``0`` -- success (failed replications are *reported* but tolerated
+  unless ``--fail-on-error`` is given).
+* ``2`` -- argparse usage error (argparse's own convention).
+* ``3`` -- ``--fail-on-error`` was given and at least one replication
+  failed after its retry (including cells killed by ``--cell-timeout``).
+* ``4`` -- graceful shutdown: a SIGINT/SIGTERM arrived, in-flight cells
+  drained to the checkpoint, the sweep is resumable.
+* ``5`` -- the ``--deadline`` wall-clock budget expired.
+* ``6`` -- hard abort on a second SIGINT/SIGTERM.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro import obs
+from repro.exec.supervisor import (
+    EXIT_DEADLINE,
+    EXIT_FAILED_RUNS,
+    EXIT_INTERRUPTED,
+    ShutdownCoordinator,
+)
 from repro.experiments.fig3 import max_improvement_db, run_fig3
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
 from repro.experiments.report import format_convergence, format_fig3, format_sweep
 from repro.experiments.scenarios import interfering_fbs_scenario, single_fbs_scenario
 from repro.sim.runner import MonteCarloRunner
+from repro.utils.errors import SweepDeadlineExceeded, SweepInterrupted
 
 #: Figure commands in run order for ``python -m repro all``.
 FIGURES = ("fig3", "fig4a", "fig4b", "fig4c", "fig6a", "fig6b", "fig6c")
@@ -76,6 +95,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--log-level", default=None,
                        choices=("debug", "info", "warning", "error"),
                        help="enable repro.* logging on stderr at this level")
+        p.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SEC",
+                       help="per-cell wall-clock deadline: a cell past it "
+                            "has its worker killed and is recorded as a "
+                            "CellTimedOut failure (enables the supervised "
+                            "executor)")
+        p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                       help="whole-run wall-clock deadline: on expiry the "
+                            "run exits with code 5; completed cells stay "
+                            "in the checkpoint")
+        p.add_argument("--fail-on-error", action="store_true",
+                       help="exit with code 3 when any replication failed "
+                            "after its retry (including cells killed by "
+                            "--cell-timeout) instead of just reporting it")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -196,73 +229,78 @@ def _timing_lines(tracker) -> List[str]:
     return ["", _heading("Timing report"), tracker.report().format()]
 
 
-def _run_figure(name: str, args) -> str:
+def _run_figure(name: str, args) -> Tuple[str, int]:
+    """One figure command's report text plus its failed-replication count."""
     jobs = getattr(args, "jobs", 1)
+    budgets = {"cell_timeout": getattr(args, "cell_timeout", None),
+               "deadline": getattr(args, "deadline", None)}
     if name == "fig3":
         rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                        jobs=jobs)
+                        jobs=jobs, **budgets)
         return "\n".join(_maybe_save(rows, args) + [
             _heading("Fig. 3: per-user Y-PSNR (dB), single FBS"),
             format_fig3(rows),
             f"max per-user gain of proposed over a heuristic: "
             f"{max_improvement_db(rows):.2f} dB",
-        ])
+        ]), sum(row.n_failed for row in rows)
     checkpoint = getattr(args, "checkpoint", None)
     tracker = _make_tracker(args, name)
     if name == "fig4b":
         result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker)
+                           progress=tracker, **budgets)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
             format_sweep(result, value_format="M={}"),
         ] + _health_lines(result) + _maybe_chart(result, args)
-          + _timing_lines(tracker))
+          + _timing_lines(tracker)), result.n_failed
     if name == "fig4c":
         result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker)
+                           progress=tracker, **budgets)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
             format_sweep(result, value_format="eta={}"),
         ] + _health_lines(result) + _maybe_chart(result, args)
-          + _timing_lines(tracker))
+          + _timing_lines(tracker)), result.n_failed
     if name == "fig6a":
         result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker)
+                           progress=tracker, **budgets)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
             format_sweep(result, upper_bound=True, value_format="eta={}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
-          + _timing_lines(tracker))
+          + _timing_lines(tracker)), result.n_failed
     if name == "fig6b":
         result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker)
+                           progress=tracker, **budgets)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
             format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
-          + _timing_lines(tracker))
+          + _timing_lines(tracker)), result.n_failed
     if name == "fig6c":
         result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker)
+                           progress=tracker, **budgets)
         return "\n".join(_maybe_save(result, args) + [
             _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
             format_sweep(result, upper_bound=True, value_format="B0={}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
-          + _timing_lines(tracker))
+          + _timing_lines(tracker)), result.n_failed
     raise ValueError(f"unknown figure {name!r}")
 
 
-def _run_simulate(args) -> str:
+def _run_simulate(args) -> Tuple[str, int]:
     builder = (single_fbs_scenario if args.scenario == "single"
                else interfering_fbs_scenario)
     config = builder(n_gops=args.gops, seed=args.seed, scheme=args.scheme)
-    summary = MonteCarloRunner(config, n_runs=args.runs,
-                               jobs=getattr(args, "jobs", 1)).summary()
+    summary = MonteCarloRunner(
+        config, n_runs=args.runs, jobs=getattr(args, "jobs", 1),
+        cell_timeout=getattr(args, "cell_timeout", None),
+        deadline=getattr(args, "deadline", None)).summary()
     lines = [_heading(f"{args.scenario} scenario, scheme={args.scheme}")]
     for user_id, ci in sorted(summary.per_user_psnr.items()):
         lines.append(f"user {user_id}: {ci}")
@@ -279,11 +317,12 @@ def _run_simulate(args) -> str:
     if getattr(args, "profile", False) and summary.phase_seconds:
         lines.append("phase seconds  : "
                      + obs.format_phase_seconds(summary.phase_seconds))
-    return "\n".join(lines)
+    return "\n".join(lines), summary.n_failed
 
 
 def _dispatch(args) -> int:
     """Run the parsed command (observability already configured)."""
+    n_failed = 0
     if args.command == "fig4a":
         result = run_fig4a(seed=args.seed, step_size=args.step_size)
         for line in _maybe_save(result, args):
@@ -294,8 +333,9 @@ def _dispatch(args) -> int:
         print(format_convergence(result.trace, result.stations))
         return 0
     if args.command == "simulate":
-        print(_run_simulate(args))
-        return 0
+        text, n_failed = _run_simulate(args)
+        print(text)
+        return _exit_code(args, n_failed)
     names = FIGURES if args.command == "all" else (args.command,)
     for name in names:
         if name == "fig4a":
@@ -303,13 +343,25 @@ def _dispatch(args) -> int:
             print(_heading("Fig. 4(a): dual-variable convergence"))
             print(format_convergence(result.trace, result.stations))
         else:
-            print(_run_figure(name, args))
+            text, failures = _run_figure(name, args)
+            n_failed += failures
+            print(text)
         print()
+    return _exit_code(args, n_failed)
+
+
+def _exit_code(args, n_failed: int) -> int:
+    """Map the failed-replication count onto the exit-code contract."""
+    if getattr(args, "fail_on_error", False) and n_failed > 0:
+        print(f"[--fail-on-error: {n_failed} replication(s) failed; "
+              f"exiting {EXIT_FAILED_RUNS}]", file=sys.stderr)
+        return EXIT_FAILED_RUNS
     return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code (see module docstring
+    for the exit-code contract)."""
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
@@ -319,10 +371,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         obs.configure(trace_path=trace_path, metrics_path=metrics_path,
                       log_level=getattr(args, "log_level", None),
                       profile=getattr(args, "profile", False))
+    coordinator = ShutdownCoordinator().install()
+    if observing:
+        # A hard abort still flushes the trace trailer and metrics dump.
+        coordinator.add_flusher(obs.shutdown)
     try:
         with obs.maybe_span("run", kind="run", command=args.command):
             code = _dispatch(args)
+    except SweepInterrupted as exc:
+        print(f"[interrupted: {exc}]", file=sys.stderr)
+        code = EXIT_INTERRUPTED
+    except SweepDeadlineExceeded as exc:
+        print(f"[deadline exceeded: {exc}]", file=sys.stderr)
+        code = EXIT_DEADLINE
     finally:
+        coordinator.uninstall()
         if observing:
             obs.shutdown()
             if trace_path is not None:

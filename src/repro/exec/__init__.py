@@ -25,19 +25,41 @@ from repro.exec.executor import (
 )
 from repro.exec.plan import Cell, SweepPlan, ensure_picklable, plan_campaign, plan_sweep
 from repro.exec.progress import CellTiming, ProgressTracker, TimingReport
+from repro.exec.supervisor import (
+    EXIT_DEADLINE,
+    EXIT_FAILED_RUNS,
+    EXIT_HARD_ABORT,
+    EXIT_INTERRUPTED,
+    ShutdownCoordinator,
+    SupervisedExecutor,
+    active_shutdown,
+    apply_backoff,
+    backoff_delay,
+    shutdown_draining,
+)
 
 __all__ = [
     "Cell",
     "CellOutcome",
     "CellTiming",
+    "EXIT_DEADLINE",
+    "EXIT_FAILED_RUNS",
+    "EXIT_HARD_ABORT",
+    "EXIT_INTERRUPTED",
     "Executor",
     "ParallelExecutor",
     "ProgressTracker",
     "SerialExecutor",
+    "ShutdownCoordinator",
+    "SupervisedExecutor",
     "SweepPlan",
     "TimingReport",
+    "active_shutdown",
+    "apply_backoff",
+    "backoff_delay",
     "ensure_picklable",
     "make_executor",
     "plan_campaign",
     "plan_sweep",
+    "shutdown_draining",
 ]

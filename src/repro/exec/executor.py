@@ -109,7 +109,13 @@ class SerialExecutor(Executor):
     """
 
     def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
+        from repro.exec.supervisor import shutdown_draining
+
         for cell in cells:
+            if shutdown_draining():
+                logger.warning("shutdown requested; serial executor stopping "
+                               "before cell %s", cell.key)
+                return
             _, result, seconds = _execute_cell(cell)
             yield CellOutcome(cell=cell, result=result, seconds=seconds)
 
@@ -154,6 +160,8 @@ class ParallelExecutor(Executor):
         return [list(cells[i:i + size]) for i in range(0, len(cells), size)]
 
     def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
+        from repro.exec.supervisor import shutdown_draining
+
         cells = list(cells)
         if not cells:
             return
@@ -163,10 +171,22 @@ class ParallelExecutor(Executor):
         chunks = self._chunks(cells)
         logger.info("dispatching %d cells as %d chunks to %d workers",
                     len(cells), len(chunks), self.jobs)
+        drained = False
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {pool.submit(_run_chunk, chunk): chunk
                        for chunk in chunks}
             for future in as_completed(futures):
+                if not drained and shutdown_draining():
+                    # Drain: cancel everything still queued; chunks already
+                    # running finish (their cells reach the checkpoint).
+                    cancelled = sum(f.cancel() for f in futures
+                                    if not f.done())
+                    drained = True
+                    logger.warning("shutdown requested; cancelled %d queued "
+                                   "chunk(s), draining in-flight work",
+                                   cancelled)
+                if future.cancelled():
+                    continue
                 chunk = futures[future]
                 try:
                     results = future.result()
@@ -184,6 +204,10 @@ class ParallelExecutor(Executor):
                     yield CellOutcome(cell=by_key[key], result=result,
                                       seconds=seconds)
         for cell in suspects:
+            if shutdown_draining():
+                logger.warning("shutdown requested; leaving quarantined cell "
+                               "%s unexecuted", cell.key)
+                continue
             yield self._run_quarantined(cell)
 
     def _run_quarantined(self, cell: Cell) -> CellOutcome:
@@ -192,8 +216,14 @@ class ParallelExecutor(Executor):
         Running solo makes crash attribution exact: if this pool breaks
         too, *this* cell kills workers, and it is written off as a
         ``FailedRun`` instead of being retried forever or taking other
-        cells down with it.
+        cells down with it.  The redispatch waits out a deterministic
+        backoff first, so a transient resource squeeze (OOM killer) gets
+        a chance to clear.
         """
+        from repro.exec.supervisor import apply_backoff
+
+        apply_backoff(cell.config.seed, cell.run_index, 1,
+                      reason="worker-crash")
         with ProcessPoolExecutor(max_workers=1) as pool:
             future = pool.submit(_run_chunk, [cell])
             try:
@@ -217,12 +247,22 @@ class ParallelExecutor(Executor):
         return CellOutcome(cell=cell, result=result, seconds=seconds)
 
 
-def make_executor(jobs: Optional[int] = None) -> Executor:
-    """Map a ``--jobs`` value onto an executor strategy.
+def make_executor(jobs: Optional[int] = None, *,
+                  cell_timeout: Optional[float] = None,
+                  deadline: Optional[float] = None) -> Executor:
+    """Map ``--jobs``/``--cell-timeout``/``--deadline`` onto a strategy.
 
     ``None`` or ``1`` selects :class:`SerialExecutor`; anything larger
-    selects a :class:`ParallelExecutor` with that worker count.
+    selects a :class:`ParallelExecutor` with that worker count.  Setting
+    either deadline switches to the watchdog
+    :class:`~repro.exec.supervisor.SupervisedExecutor`, which runs cells
+    in killable child processes even at ``jobs=1``.
     """
+    if cell_timeout is not None or deadline is not None:
+        from repro.exec.supervisor import SupervisedExecutor
+
+        return SupervisedExecutor(jobs or 1, cell_timeout=cell_timeout,
+                                  deadline=deadline)
     if jobs is None or jobs == 1:
         return SerialExecutor()
     if jobs < 1:

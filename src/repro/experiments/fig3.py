@@ -33,33 +33,45 @@ class Fig3Row:
         ``{user_id: ConfidenceInterval}`` of mean GOP PSNR (dB).
     fairness:
         Jain index CI across users (the paper's "well balanced" claim).
+    n_failed:
+        Replications lost after their retry (excluded from the CIs);
+        surfaced so the CLI's ``--fail-on-error`` contract covers this
+        figure too.  Not serialised by ``results_io`` -- the on-disk
+        format is unchanged.
     """
 
     scheme: str
     per_user_psnr: Dict[int, ConfidenceInterval]
     fairness: ConfidenceInterval
+    n_failed: int = 0
 
 
 def run_fig3(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
              schemes: Sequence[str] = FIG3_SCHEMES,
-             jobs: Optional[int] = None) -> List[Fig3Row]:
+             jobs: Optional[int] = None,
+             cell_timeout: Optional[float] = None,
+             deadline: Optional[float] = None) -> List[Fig3Row]:
     """Regenerate Fig. 3's data.
 
     Returns one row per scheme with per-user confidence intervals; all
     schemes share root seeds (paired comparison).  ``jobs`` spreads each
     scheme's replications over worker processes (see :mod:`repro.exec`);
-    the rows are identical at every worker count.
+    the rows are identical at every worker count.  ``cell_timeout`` /
+    ``deadline`` enable the supervised executor's watchdog budgets.
     """
     logger.info("fig3: %d runs x %d GOPs, seed %s, schemes %s, jobs %s",
                 n_runs, n_gops, seed, list(schemes), jobs)
     rows = []
     for scheme in schemes:
         config = single_fbs_scenario(n_gops=n_gops, seed=seed, scheme=scheme)
-        summary = MonteCarloRunner(config, n_runs=n_runs, jobs=jobs).summary()
+        summary = MonteCarloRunner(config, n_runs=n_runs, jobs=jobs,
+                                   cell_timeout=cell_timeout,
+                                   deadline=deadline).summary()
         rows.append(Fig3Row(
             scheme=scheme,
             per_user_psnr=summary.per_user_psnr,
             fairness=summary.fairness,
+            n_failed=summary.n_failed,
         ))
     return rows
 

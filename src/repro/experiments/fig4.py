@@ -85,8 +85,8 @@ def run_fig4a(*, seed: int = 7, step_size: float = 0.004,
 def run_fig4b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               channels: Sequence[int] = FIG4B_CHANNELS,
               schemes: Sequence[str] = FIG4_SCHEMES,
-              checkpoint_path=None, jobs=None,
-              progress=None) -> SweepResult:
+              checkpoint_path=None, jobs=None, progress=None,
+              cell_timeout=None, deadline=None) -> SweepResult:
     """Regenerate Fig. 4(b): PSNR vs number of licensed channels.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
@@ -98,15 +98,15 @@ def run_fig4b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
                 n_runs, n_gops, seed, list(channels), jobs)
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "n_channels", list(channels), schemes, n_runs=n_runs,
-                 checkpoint_path=checkpoint_path, jobs=jobs,
-                 progress=progress)
+                 checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
+                 cell_timeout=cell_timeout, deadline=deadline)
 
 
 def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               utilizations: Sequence[float] = FIG4C_UTILIZATIONS,
               schemes: Sequence[str] = FIG4_SCHEMES,
-              checkpoint_path=None, jobs=None,
-              progress=None) -> SweepResult:
+              checkpoint_path=None, jobs=None, progress=None,
+              cell_timeout=None, deadline=None) -> SweepResult:
     """Regenerate Fig. 4(c): PSNR vs channel utilisation.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
@@ -120,5 +120,6 @@ def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     result = sweep(
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
         configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)),
-        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress)
+        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
+        cell_timeout=cell_timeout, deadline=deadline)
     return result

@@ -32,8 +32,8 @@ FIG6_SCHEMES = ("proposed-fast", "heuristic1", "heuristic2")
 def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               utilizations: Sequence[float] = FIG6A_UTILIZATIONS,
               schemes: Sequence[str] = FIG6_SCHEMES,
-              checkpoint_path=None, jobs=None,
-              progress=None) -> SweepResult:
+              checkpoint_path=None, jobs=None, progress=None,
+              cell_timeout=None, deadline=None) -> SweepResult:
     """Regenerate Fig. 6(a): PSNR vs utilisation under interference.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
@@ -47,14 +47,15 @@ def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
     return sweep(
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
         configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)),
-        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress)
+        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
+        cell_timeout=cell_timeout, deadline=deadline)
 
 
 def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               error_pairs: Sequence[Tuple[float, float]] = FIG6B_ERROR_PAIRS,
               schemes: Sequence[str] = FIG6_SCHEMES,
-              checkpoint_path=None, jobs=None,
-              progress=None) -> SweepResult:
+              checkpoint_path=None, jobs=None, progress=None,
+              cell_timeout=None, deadline=None) -> SweepResult:
     """Regenerate Fig. 6(b): PSNR vs sensing-error operating point.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
@@ -69,14 +70,15 @@ def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
         base, "sensing_errors", list(error_pairs), schemes, n_runs=n_runs,
         configure=lambda cfg, pair: cfg.replace(
             false_alarm=pair[0], miss_detection=pair[1]),
-        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress)
+        checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
+        cell_timeout=cell_timeout, deadline=deadline)
 
 
 def run_fig6c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               bandwidths: Sequence[float] = FIG6C_BANDWIDTHS,
               schemes: Sequence[str] = FIG6_SCHEMES,
-              checkpoint_path=None, jobs=None,
-              progress=None) -> SweepResult:
+              checkpoint_path=None, jobs=None, progress=None,
+              cell_timeout=None, deadline=None) -> SweepResult:
     """Regenerate Fig. 6(c): PSNR vs common-channel bandwidth ``B0``.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
@@ -88,5 +90,5 @@ def run_fig6c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
                 n_runs, n_gops, seed, list(bandwidths), jobs)
     base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "common_bandwidth_mbps", list(bandwidths), schemes,
-                 n_runs=n_runs, checkpoint_path=checkpoint_path, jobs=jobs,
-                 progress=progress)
+                 n_runs=n_runs, checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
+                 cell_timeout=cell_timeout, deadline=deadline)

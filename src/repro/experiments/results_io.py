@@ -28,6 +28,7 @@ from repro.obs.logging import get_logger
 from repro.sim.metrics import MetricsSummary
 from repro.sim.runner import SweepResult
 from repro.utils.errors import ConfigurationError
+from repro.utils.fsio import fsync_dir
 from repro.utils.stats import ConfidenceInterval
 
 logger = get_logger(__name__)
@@ -210,6 +211,9 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
         except OSError:
             pass
         raise
+    # The rename is only durable once the directory entry itself is
+    # synced; without this a power loss can resurrect the old file.
+    fsync_dir(path.parent or ".")
     logger.info("saved %s results to %s", payload["kind"], path)
     return path
 

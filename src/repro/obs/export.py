@@ -22,13 +22,17 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from dataclasses import fields, is_dataclass
+from pathlib import Path
 from typing import IO, Mapping, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry, split_sample_name
+from repro.utils.fsio import fsync_dir
 
 _PRIMITIVES = (bool, int, float, str, type(None))
 
@@ -103,10 +107,32 @@ def run_manifest(*, command: str, config: Optional[object] = None,
 
 
 def write_manifest(path: str, manifest: Mapping[str, object]) -> None:
-    """Write a manifest as pretty-printed JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Write a manifest as pretty-printed JSON, atomically.
+
+    Same discipline as ``results_io.save_results``: serialise to a
+    temporary file in the destination directory, fsync, ``os.replace``
+    over the target, then fsync the directory.  A crash mid-write can
+    therefore never leave a torn ``*.manifest.json`` sidecar next to
+    valid results -- either the old manifest survives or the new one is
+    complete.
+    """
+    target = Path(path)
+    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or ".")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    fsync_dir(target.parent)
 
 
 def read_manifest(path: str) -> dict:

@@ -38,7 +38,7 @@ import json
 import os
 import time
 from contextlib import contextmanager
-from typing import IO, Iterator, List, Optional
+from typing import IO, Dict, Iterator, List, Optional
 
 #: Default cap on events written per trace file.
 DEFAULT_MAX_EVENTS = 200_000
@@ -61,6 +61,7 @@ class SpanTracer:
         self._dropped = 0
         self._stack: List[int] = []
         self._closed = False
+        self._notes: Dict[str, object] = {}
 
     # Writer plumbing ----------------------------------------------------
 
@@ -79,6 +80,7 @@ class SpanTracer:
             self._written = 0
             self._dropped = 0
             self._closed = False
+            self._notes = {}  # the parent's annotations are not ours
         return self._file
 
     def _write(self, record: dict) -> None:
@@ -144,6 +146,19 @@ class SpanTracer:
         self._write(record)
         return span_id
 
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named counter carried on the trace-summary trailer.
+
+        Supervision events (cell timeouts, shutdown signals, deadline
+        aborts) bump here so the trailer answers "did anything unusual
+        happen in this run?" without scanning every event line.
+        """
+        self._notes[name] = int(self._notes.get(name, 0)) + int(amount)
+
+    def note(self, **attrs: object) -> None:
+        """Attach arbitrary key/value annotations to the trailer."""
+        self._notes.update(attrs)
+
     def event(self, name: str, *, kind: str = "event", **attrs: object) -> int:
         """Record an instantaneous event (e.g. a degradation)."""
         span_id = self._new_id()
@@ -175,12 +190,12 @@ class SpanTracer:
         out = self._writer()
         if out is None or self._closed:
             return
+        attrs = {"written": self._written, "dropped": self._dropped,
+                 "max_events": self.max_events}
+        attrs.update(self._notes)
         summary = {"kind": "trace-summary", "name": "trace-summary",
                    "span": self._new_id(), "parent": None, "pid": self._pid,
-                   "t": time.time(),
-                   "attrs": {"written": self._written,
-                             "dropped": self._dropped,
-                             "max_events": self.max_events}}
+                   "t": time.time(), "attrs": attrs}
         out.write(json.dumps(summary, separators=(",", ":")) + "\n")
         out.flush()
         self._closed = True

@@ -38,6 +38,7 @@ import numpy as np
 from repro.sim.fallback import DegradationEvent
 from repro.sim.metrics import FailedRun, RunMetrics
 from repro.utils.errors import CheckpointError
+from repro.utils.fsio import fsync_dir
 
 #: Schema version of checkpoint files written by this module.
 CHECKPOINT_VERSION = 1
@@ -131,6 +132,10 @@ class SweepCheckpoint:
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._append_line(self._header)
+            # The bytes are fsynced by _append_line; the *directory
+            # entry* for a brand-new file needs its own fsync to survive
+            # power loss.
+            fsync_dir(self.path.parent)
 
     @staticmethod
     def cell_key(scheme: str, point_index: int, run_index: int) -> str:
@@ -162,6 +167,22 @@ class SweepCheckpoint:
         self._append_line(line)
         self._cells[key] = result
 
+    def sync(self) -> None:
+        """Force the checkpoint's bytes and directory entry to disk.
+
+        Every :meth:`record` already fsyncs, so this is a belt-and-braces
+        barrier for shutdown paths (it runs as a
+        :class:`~repro.exec.supervisor.ShutdownCoordinator` flusher on a
+        hard abort).  Best-effort: a failing sync must not turn a clean
+        shutdown into a crash.
+        """
+        try:
+            with open(self.path, "rb") as handle:
+                os.fsync(handle.fileno())
+        except OSError:
+            pass
+        fsync_dir(self.path.parent)
+
     # -- internals -------------------------------------------------------
 
     def _append_line(self, payload: dict) -> None:
@@ -170,10 +191,16 @@ class SweepCheckpoint:
         except ValueError as exc:
             raise CheckpointError(
                 f"refusing to checkpoint non-finite values: {exc}") from exc
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(text + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            # Disk full / volume gone: surface a structured library error
+            # so the sweep fails loudly instead of half-persisting.
+            raise CheckpointError(
+                f"failed to append to checkpoint {self.path}: {exc}") from exc
 
     def _load(self) -> None:
         raw = self.path.read_bytes()

@@ -474,6 +474,15 @@ class SimulationEngine:
         """The slot body; ``tracer`` (or None) receives phase spans."""
         config = self.config
         fault_plan = config.fault_plan
+        if fault_plan is not None:
+            # Chaos-harness hook: hang/slow injection is pure wall-clock
+            # (no RNG stream is consumed), so supervised kills and
+            # deadline tests see byte-identical results.
+            delay_hook = getattr(fault_plan, "injected_delay", None)
+            if delay_hook is not None:
+                delay = delay_hook(self._slot)
+                if delay > 0:
+                    time.sleep(delay)
         accelerated = acceleration_enabled()
         observing = metrics_enabled()
         n_degraded_before = len(self.degradations) if observing else 0

@@ -39,7 +39,11 @@ from repro.sim.metrics import (
     RunMetrics,
     summarize_runs,
 )
-from repro.utils.errors import ConfigurationError, ReproError
+from repro.utils.errors import (
+    ConfigurationError,
+    ReproError,
+    SweepInterrupted,
+)
 from repro.utils.rng import derive_seed
 
 logger = get_logger(__name__)
@@ -89,6 +93,10 @@ def execute_run(config: ScenarioConfig, run_index: int
                     "replication %d attempt %d failed (%s: %s); retrying "
                     "with a fresh derived seed", run_index, attempt,
                     type(exc).__name__, exc)
+                from repro.exec.supervisor import apply_backoff
+
+                apply_backoff(config.seed, run_index, attempt + 1,
+                              reason="replication-retry")
     logger.error("replication %d lost after %d attempts (%s: %s)",
                  run_index, MAX_ATTEMPTS, type(last_error).__name__,
                  last_error)
@@ -137,6 +145,10 @@ class MonteCarloRunner:
     executor:
         Explicit :class:`~repro.exec.executor.Executor` strategy;
         overrides ``jobs`` when given.
+    cell_timeout / deadline:
+        Per-replication and whole-campaign wall-clock budgets in
+        seconds; either one switches execution to the watchdog
+        :class:`~repro.exec.supervisor.SupervisedExecutor`.
 
     Attributes
     ----------
@@ -148,12 +160,16 @@ class MonteCarloRunner:
 
     def __init__(self, config: ScenarioConfig, *, n_runs: int = 10,
                  jobs: Optional[int] = None,
-                 executor: Optional[object] = None) -> None:
+                 executor: Optional[object] = None,
+                 cell_timeout: Optional[float] = None,
+                 deadline: Optional[float] = None) -> None:
         if n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
         self.config = config
         self.n_runs = int(n_runs)
         self.jobs = jobs
+        self.cell_timeout = cell_timeout
+        self.deadline = deadline
         self._executor = executor
         self.failed_runs: List[FailedRun] = []
 
@@ -184,11 +200,19 @@ class MonteCarloRunner:
                     self.jobs)
         plan = plan_campaign(self.config, self.n_runs)
         executor = self._executor if self._executor is not None \
-            else make_executor(self.jobs)
+            else make_executor(self.jobs, cell_timeout=self.cell_timeout,
+                               deadline=self.deadline)
         by_index: Dict[int, Union[RunMetrics, FailedRun]] = {}
         for outcome in executor.run(plan.cells):
             _absorb_outcome(outcome)
             by_index[outcome.cell.run_index] = outcome.result
+        if len(by_index) < len(plan.cells):
+            # The executor drained early under a shutdown signal; a
+            # campaign has no checkpoint, so nothing survives -- report
+            # the interruption rather than a silently truncated summary.
+            raise SweepInterrupted(
+                f"campaign interrupted by shutdown signal: "
+                f"{len(by_index)}/{len(plan.cells)} replications completed")
         runs: List[RunMetrics] = []
         failures: List[FailedRun] = []
         for run_index in sorted(by_index):
@@ -253,9 +277,11 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
           schemes: Sequence[str], *, n_runs: int = 10,
           configure: Optional[Callable[[ScenarioConfig, object],
                                        ScenarioConfig]] = None,
-          checkpoint_path: Optional[Union[str, Path]] = None,
+          checkpoint_path: Optional[Union[str, Path, SweepCheckpoint]] = None,
           jobs: Optional[int] = None, executor: Optional[object] = None,
-          progress: Optional[object] = None) -> SweepResult:
+          progress: Optional[object] = None,
+          cell_timeout: Optional[float] = None,
+          deadline: Optional[float] = None) -> SweepResult:
     """Sweep one parameter across several schemes.
 
     The sweep is flattened into a deterministic plan of ``(scheme, sweep
@@ -283,11 +309,13 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         ``p01``).  Applied during planning, in this process, so it may be
         a lambda even under parallel execution.
     checkpoint_path:
-        Optional checkpoint file.  Every completed ``(scheme, sweep
-        point, run)`` cell is appended as soon as it arrives; rerunning
-        the same sweep with the same path resumes, recomputing only the
-        missing cells (at any ``jobs`` value -- the checkpoint is
-        executor-agnostic).  All writes happen in this process
+        Optional checkpoint file (a path, or an already-open
+        :class:`~repro.sim.checkpoint.SweepCheckpoint` instance for
+        tests that inject a faulty writer).  Every completed ``(scheme,
+        sweep point, run)`` cell is appended as soon as it arrives;
+        rerunning the same sweep with the same path resumes, recomputing
+        only the missing cells (at any ``jobs`` value -- the checkpoint
+        is executor-agnostic).  All writes happen in this process
         (single-writer), never in workers.  The file fingerprints the
         sweep (parameter, values, schemes, ``n_runs``, root seed) and
         refuses to resume a different one.
@@ -302,6 +330,16 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         :class:`~repro.exec.progress.ProgressTracker`): ``begin(total,
         cached=...)`` is called once, then ``observe(outcome)`` per
         executed cell.
+    cell_timeout / deadline:
+        Per-cell and whole-sweep wall-clock budgets in seconds
+        (``--cell-timeout`` / ``--deadline``).  Either one switches
+        execution to the watchdog
+        :class:`~repro.exec.supervisor.SupervisedExecutor`: a cell past
+        its deadline is recorded as a ``FailedRun`` with
+        ``error_type="CellTimedOut"`` (and checkpointed, so a resume
+        does not retry it), while an expired sweep deadline raises
+        :class:`~repro.utils.errors.SweepDeadlineExceeded` after
+        checkpointing everything that finished.
 
     Notes
     -----
@@ -313,17 +351,21 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
     """
     from repro.exec.executor import make_executor
     from repro.exec.plan import plan_sweep
+    from repro.exec.supervisor import active_shutdown
 
     plan = plan_sweep(base_config, parameter, values, schemes,
                       n_runs=n_runs, configure=configure)
     checkpoint = None
-    if checkpoint_path is not None:
+    if isinstance(checkpoint_path, SweepCheckpoint):
+        checkpoint = checkpoint_path
+    elif checkpoint_path is not None:
         checkpoint = SweepCheckpoint(
             checkpoint_path, parameter=parameter, values=values,
             schemes=schemes, n_runs=n_runs, seed=base_config.seed)
 
     if executor is None:
-        executor = make_executor(jobs)
+        executor = make_executor(jobs, cell_timeout=cell_timeout,
+                                 deadline=deadline)
 
     completed: Dict[str, Union[RunMetrics, FailedRun]] = {}
     pending = []
@@ -338,16 +380,41 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
                 parameter, len(plan.cells), len(pending), len(completed))
     if progress is not None and hasattr(progress, "begin"):
         progress.begin(len(pending), cached=len(completed))
-    for outcome in executor.run(pending):
-        # Single-writer checkpointing: results stream back to the parent
-        # and only the parent touches the file, as soon as each arrives.
-        if checkpoint is not None:
-            checkpoint.record(outcome.cell.key, outcome.result)
-        _absorb_outcome(outcome)
-        completed[outcome.cell.key] = outcome.result
-        if progress is not None and hasattr(progress, "observe"):
-            progress.observe(outcome)
+    coordinator = active_shutdown()
+    if coordinator is not None and checkpoint is not None:
+        # On a second (hard-abort) signal the coordinator forces a final
+        # checkpoint fsync before exiting, so every recorded cell is
+        # durable even then.
+        coordinator.add_flusher(checkpoint.sync)
+    try:
+        for outcome in executor.run(pending):
+            # Single-writer checkpointing: results stream back to the
+            # parent and only the parent touches the file, as soon as
+            # each arrives.
+            if checkpoint is not None:
+                checkpoint.record(outcome.cell.key, outcome.result)
+            _absorb_outcome(outcome)
+            completed[outcome.cell.key] = outcome.result
+            if progress is not None and hasattr(progress, "observe"):
+                progress.observe(outcome)
+    finally:
+        if coordinator is not None and checkpoint is not None:
+            coordinator.remove_flusher(checkpoint.sync)
 
+    # Count distinct keys: a degenerate sweep may list a scheme twice,
+    # in which case its cells share keys and completed can never reach
+    # len(plan.cells).
+    if len(completed) < len({cell.key for cell in plan.cells}):
+        # The executor drained early under a shutdown signal.  Completed
+        # cells are already on disk; make them durable and report the
+        # interruption so the CLI can exit with its documented code.
+        if checkpoint is not None:
+            checkpoint.sync()
+        raise SweepInterrupted(
+            f"sweep interrupted by shutdown signal: {len(completed)}/"
+            f"{len(plan.cells)} cells completed"
+            + ("" if checkpoint is None
+               else f"; resume from checkpoint {checkpoint.path}"))
     return _assemble_sweep(plan, completed)
 
 

@@ -22,6 +22,16 @@ outcomes:
 * **Corrupted results files** -- :func:`corrupt_json_file` truncates a
   JSON/JSONL file mid-write, emulating an interrupted save, to test
   atomic-write and tolerant-resume behaviour.
+* **Hangs and slowdowns** -- ``hang_slots`` / ``slow_slots`` make the
+  chosen slots sleep (far past any sane deadline, or by a fixed
+  dilation), exercising the supervision layer's per-cell watchdog and
+  whole-sweep deadline without ever perturbing RNG streams or results.
+* **Crash during checkpoint write** -- :class:`CrashingCheckpoint`
+  raises :class:`InjectedCrash` partway through persisting a cell,
+  leaving a genuinely torn final line for the resume path to repair.
+* **Disk full** -- :func:`simulated_disk_full` makes ``os.fsync`` raise
+  ``ENOSPC`` after a budget of successful calls, to test that persistence
+  layers fail loudly and atomically instead of half-writing.
 
 The plan is attached to a scenario via ``ScenarioConfig.fault_plan`` and
 consumed by the engine through duck-typed hooks, so production code never
@@ -35,9 +45,25 @@ uses *during* the step, i.e. ``engine.slot`` before the step completes).
 
 from __future__ import annotations
 
+import errno
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import FrozenSet, Optional, Union
+from typing import FrozenSet, Iterator, Optional, Union
+
+from repro.sim.checkpoint import SweepCheckpoint
+
+
+class InjectedCrash(BaseException):
+    """A deliberately injected crash (never caught by library code).
+
+    Derives from :class:`BaseException` -- not
+    :class:`~repro.utils.errors.ReproError`, nor even ``Exception`` --
+    so no retry/fallback/isolation layer can absorb it: it emulates a
+    process dying mid-operation, and must rip straight through to the
+    test harness.
+    """
 
 
 @dataclass
@@ -56,6 +82,19 @@ class FaultPlan:
         Slots at which sensing observations go missing.
     sensing_outage_channels:
         Channels affected by the outage (``None`` = every channel).
+    hang_slots:
+        Slots at which the engine sleeps for ``hang_seconds`` before
+        doing any work -- long enough (default: one hour) that only a
+        watchdog kill ends the cell.  Purely temporal: RNG streams and
+        results are untouched.
+    hang_seconds:
+        Sleep length for ``hang_slots``.
+    slow_slots:
+        Slots dilated by ``slow_seconds`` of extra sleep each -- the
+        "pathologically slow, but still finishing" failure mode, for
+        whole-sweep deadline tests.
+    slow_seconds:
+        Extra seconds per slot in ``slow_slots``.
     poison_runs:
         Monte-Carlo run indices the faults apply to (``None`` = every
         run).  Scoping is by *replication index*, not seed, so a retried
@@ -67,6 +106,10 @@ class FaultPlan:
     nan_fading_slots: FrozenSet[int] = frozenset()
     sensing_outage_slots: FrozenSet[int] = frozenset()
     sensing_outage_channels: Optional[FrozenSet[int]] = None
+    hang_slots: FrozenSet[int] = frozenset()
+    hang_seconds: float = 3600.0
+    slow_slots: FrozenSet[int] = frozenset()
+    slow_seconds: float = 0.05
     poison_runs: Optional[FrozenSet[int]] = None
     _current_run: Optional[int] = field(default=None, repr=False, compare=False)
 
@@ -74,6 +117,8 @@ class FaultPlan:
         self.nonconvergent_slots = frozenset(self.nonconvergent_slots)
         self.nan_fading_slots = frozenset(self.nan_fading_slots)
         self.sensing_outage_slots = frozenset(self.sensing_outage_slots)
+        self.hang_slots = frozenset(self.hang_slots)
+        self.slow_slots = frozenset(self.slow_slots)
         if self.sensing_outage_channels is not None:
             self.sensing_outage_channels = frozenset(self.sensing_outage_channels)
         if self.poison_runs is not None:
@@ -116,6 +161,21 @@ class FaultPlan:
         return frozenset(c for c in self.sensing_outage_channels
                          if 0 <= c < n_channels)
 
+    def injected_delay(self, slot: int) -> float:
+        """Seconds the engine must sleep before simulating this slot.
+
+        ``hang_slots`` dominate ``slow_slots`` when both name a slot.
+        The delay is pure wall-clock -- no RNG stream is consumed -- so
+        results stay byte-identical to a fault-free run modulo timing.
+        """
+        if not self._armed():
+            return 0.0
+        if slot in self.hang_slots:
+            return float(self.hang_seconds)
+        if slot in self.slow_slots:
+            return float(self.slow_seconds)
+        return 0.0
+
 
 def corrupt_json_file(path: Union[str, Path], *,
                       keep_fraction: float = 0.5) -> Path:
@@ -137,3 +197,71 @@ def corrupt_json_file(path: Union[str, Path], *,
     keep = min(max(1, int(len(data) * keep_fraction)), len(data) - 1)
     path.write_bytes(data[:keep])
     return path
+
+
+class CrashingCheckpoint(SweepCheckpoint):
+    """Checkpoint writer that dies mid-append after N successful records.
+
+    The ``crash_after``-th :meth:`record` call writes a *torn prefix* of
+    its line (no trailing newline, truncated JSON) and then raises
+    :class:`InjectedCrash` -- exactly the on-disk state a process killed
+    inside ``write(2)`` leaves behind.  Used to prove the loader's
+    truncated-final-line repair and byte-identical resume.
+    """
+
+    def __init__(self, *args, crash_after: int, **kwargs) -> None:
+        if crash_after < 0:
+            raise ValueError(f"crash_after must be >= 0, got {crash_after}")
+        self.crash_after = int(crash_after)
+        self._recorded = 0
+        super().__init__(*args, **kwargs)
+
+    def record(self, key, result) -> None:
+        if self._recorded >= self.crash_after:
+            import json as _json
+
+            from repro.sim.checkpoint import run_metrics_to_dict
+            from repro.sim.metrics import RunMetrics
+
+            if isinstance(result, RunMetrics):
+                line = {"key": key, "status": "ok",
+                        "metrics": run_metrics_to_dict(result)}
+            else:
+                line = {"key": key, "status": "failed",
+                        "failure": result.to_dict()}
+            text = _json.dumps(line, sort_keys=True)
+            torn = text[:max(1, len(text) // 2)]
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(torn)
+                handle.flush()
+                os.fsync(handle.fileno())
+            raise InjectedCrash(
+                f"injected crash mid-checkpoint-write of cell {key}")
+        super().record(key, result)
+        self._recorded += 1
+
+
+@contextmanager
+def simulated_disk_full(*, fail_after: int = 0) -> Iterator[None]:
+    """Make ``os.fsync`` raise ``ENOSPC`` after ``fail_after`` successes.
+
+    Patches :func:`os.fsync` for the duration of the ``with`` block:
+    the first ``fail_after`` calls succeed, every later one raises
+    ``OSError(ENOSPC)`` -- the moment a full volume actually surfaces
+    for write-then-fsync persistence code.  Restores the real ``fsync``
+    on exit, including on error.
+    """
+    real_fsync = os.fsync
+    calls = {"n": 0}
+
+    def failing_fsync(fd: int) -> None:
+        calls["n"] += 1
+        if calls["n"] > fail_after:
+            raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        real_fsync(fd)
+
+    os.fsync = failing_fsync
+    try:
+        yield
+    finally:
+        os.fsync = real_fsync

@@ -56,6 +56,29 @@ class CheckpointError(ReproError):
     sweep being resumed."""
 
 
+class SweepInterrupted(ReproError):
+    """A sweep drained and stopped early because a shutdown signal arrived.
+
+    Raised by the Monte-Carlo harness after a
+    :class:`~repro.exec.supervisor.ShutdownCoordinator` entered its
+    draining stage and some cells were left unexecuted.  Completed cells
+    are already checkpointed (when a checkpoint path was given), so the
+    sweep can be resumed later; the CLI maps this to its documented
+    graceful-shutdown exit code.
+    """
+
+
+class SweepDeadlineExceeded(ReproError):
+    """The whole-sweep wall-clock deadline expired before every cell
+    completed.
+
+    Raised by the supervised executor when ``--deadline`` elapses:
+    in-flight workers are killed (their cells re-run on resume, they are
+    *not* recorded as failed) and already-completed cells survive in the
+    checkpoint.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge within its iteration budget.
 

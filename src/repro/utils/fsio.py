@@ -1,0 +1,36 @@
+"""Filesystem durability helpers shared by the persistence layers.
+
+Writing bytes and fsyncing the file is only half of crash safety: the
+*directory entry* pointing at a freshly created (or renamed-over) file
+lives in the directory's own metadata, and survives power loss only if
+the directory is fsynced too.  The checkpoint writer, the atomic results
+saver, and the manifest exporter all share this helper so the rule is
+applied uniformly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+
+def fsync_dir(path: Union[str, Path]) -> None:
+    """Fsync a directory so its entries survive power loss.
+
+    Best-effort by design: some platforms and filesystems (Windows,
+    certain network mounts) refuse to open or fsync directories, and a
+    durability *upgrade* must never turn into a new failure mode for an
+    otherwise-successful write, so every ``OSError`` is swallowed.
+    """
+    name = os.fspath(path) or "."
+    try:
+        fd = os.open(name, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.results_io import read_provenance, save_results
 from repro.experiments.scenarios import (
@@ -103,6 +105,60 @@ class TestManifest:
         manifest = run_manifest(command="simulate")
         assert manifest["config_fingerprint"] is None
         assert manifest["seed"] is None
+
+
+class TestManifestAtomicity:
+    """``write_manifest`` must never leave a torn sidecar: either the
+    previous manifest survives intact or the new one is complete."""
+
+    def test_crash_before_replace_keeps_previous_manifest(self, tmp_path,
+                                                          monkeypatch):
+        import os
+
+        path = tmp_path / "run.manifest.json"
+        write_manifest(str(path), {"command": "fig3", "attempt": 1})
+        good = path.read_text()
+
+        def interrupted(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(os, "replace", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            write_manifest(str(path), {"command": "fig3", "attempt": 2})
+        assert path.read_text() == good
+        assert read_manifest(str(path))["attempt"] == 1
+
+    def test_no_temp_debris_after_failure(self, tmp_path, monkeypatch):
+        import os
+
+        path = tmp_path / "run.manifest.json"
+
+        def interrupted(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", interrupted)
+        with pytest.raises(OSError):
+            write_manifest(str(path), {"command": "fig3"})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disk_full_fails_loudly_and_keeps_previous(self, tmp_path):
+        from repro.testing.faults import simulated_disk_full
+
+        path = tmp_path / "run.manifest.json"
+        write_manifest(str(path), {"command": "fig3", "attempt": 1})
+        good = path.read_text()
+        with simulated_disk_full():
+            with pytest.raises(OSError):
+                write_manifest(str(path), {"command": "fig3", "attempt": 2})
+        assert path.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["run.manifest.json"]
+
+    def test_overwrite_is_complete(self, tmp_path):
+        path = tmp_path / "run.manifest.json"
+        write_manifest(str(path), {"command": "fig3", "attempt": 1})
+        write_manifest(str(path), {"command": "fig3", "attempt": 2})
+        assert read_manifest(str(path))["attempt"] == 2
+        assert [p.name for p in tmp_path.iterdir()] == ["run.manifest.json"]
 
 
 class TestResultProvenance:

@@ -12,10 +12,19 @@ import numpy as np
 import pytest
 
 from repro.experiments.fig3 import run_fig3
-from repro.experiments.results_io import load_results, save_results
+from repro.experiments.results_io import load_results, save_results, \
+    sweep_to_dict
 from repro.sim import SimulationEngine, sweep
-from repro.testing.faults import FaultPlan, corrupt_json_file
-from repro.utils.errors import ConfigurationError
+from repro.sim.checkpoint import SweepCheckpoint
+from repro.sim.metrics import FailedRun
+from repro.testing.faults import (
+    CrashingCheckpoint,
+    FaultPlan,
+    InjectedCrash,
+    corrupt_json_file,
+    simulated_disk_full,
+)
+from repro.utils.errors import CheckpointError, ConfigurationError
 from repro.utils.stats import ConfidenceInterval
 
 
@@ -168,3 +177,105 @@ class TestInterruptedSave:
         with pytest.raises(OSError):
             save_results(result, path)
         assert list(tmp_path.iterdir()) == []
+
+
+SWEEP_ARGS = ("n_channels", [4, 6], ["heuristic1", "heuristic2"])
+
+
+def _run_sweep(config, **kwargs):
+    return sweep(config, *SWEEP_ARGS, n_runs=2, **kwargs)
+
+
+class TestCrashDuringCheckpointWrite:
+    """A process dying inside ``write(2)`` leaves a torn final line; the
+    loader must repair it and the resume must be byte-identical."""
+
+    def test_torn_line_is_repaired_and_resume_is_byte_identical(
+            self, single_config, tmp_path):
+        config = single_config.replace(n_gops=1)
+        reference = _run_sweep(config)
+
+        path = tmp_path / "sweep.ckpt"
+        crashing = CrashingCheckpoint(
+            path, parameter=SWEEP_ARGS[0], values=SWEEP_ARGS[1],
+            schemes=SWEEP_ARGS[2], n_runs=2, seed=config.seed,
+            crash_after=3)
+        with pytest.raises(InjectedCrash):
+            _run_sweep(config, checkpoint_path=crashing)
+
+        # The crash fsynced a torn prefix: no trailing newline, and the
+        # final line is not parseable JSON.
+        raw = path.read_bytes()
+        assert not raw.endswith(b"\n")
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(raw.rsplit(b"\n", 1)[-1].decode())
+
+        # Reopening repairs the file: the torn cell is dropped (it will
+        # re-run), the three complete cells survive, and the file is
+        # truncated back to whole lines so later appends stay valid.
+        repaired = SweepCheckpoint(
+            path, parameter=SWEEP_ARGS[0], values=SWEEP_ARGS[1],
+            schemes=SWEEP_ARGS[2], n_runs=2, seed=config.seed)
+        assert len(repaired) == 3
+        assert path.read_bytes().endswith(b"\n")
+
+        resumed = _run_sweep(config, checkpoint_path=path)
+        assert json.dumps(sweep_to_dict(resumed), sort_keys=True) == \
+            json.dumps(sweep_to_dict(reference), sort_keys=True)
+
+    def test_crash_after_zero_tears_the_first_cell(self, single_config,
+                                                   tmp_path):
+        config = single_config.replace(n_gops=1)
+        path = tmp_path / "sweep.ckpt"
+        crashing = CrashingCheckpoint(
+            path, parameter=SWEEP_ARGS[0], values=SWEEP_ARGS[1],
+            schemes=SWEEP_ARGS[2], n_runs=2, seed=config.seed,
+            crash_after=0)
+        with pytest.raises(InjectedCrash):
+            _run_sweep(config, checkpoint_path=crashing)
+        repaired = SweepCheckpoint(
+            path, parameter=SWEEP_ARGS[0], values=SWEEP_ARGS[1],
+            schemes=SWEEP_ARGS[2], n_runs=2, seed=config.seed)
+        assert len(repaired) == 0  # header survived, no cells
+
+
+class TestSimulatedDiskFull:
+    def test_checkpoint_append_fails_loudly(self, tmp_path):
+        ckpt = SweepCheckpoint(
+            tmp_path / "sweep.ckpt", parameter=SWEEP_ARGS[0],
+            values=SWEEP_ARGS[1], schemes=SWEEP_ARGS[2], n_runs=2, seed=7)
+        failed = FailedRun(run_index=0, error_type="NumericalError",
+                           error="injected", attempts=2, seeds=(1, 2))
+        with simulated_disk_full():
+            with pytest.raises(CheckpointError, match="No space left"):
+                ckpt.record(ckpt.cell_key("heuristic1", 0, 0), failed)
+        # The volume recovered: the same record now persists, and the
+        # failed append never half-wrote the in-memory view.
+        ckpt.record(ckpt.cell_key("heuristic1", 0, 0), failed)
+        assert len(ckpt) == 1
+
+    def test_fail_after_budget_spends_successes_first(self, tmp_path):
+        ckpt = SweepCheckpoint(
+            tmp_path / "sweep.ckpt", parameter=SWEEP_ARGS[0],
+            values=SWEEP_ARGS[1], schemes=SWEEP_ARGS[2], n_runs=2, seed=7)
+        failed = FailedRun(run_index=0, error_type="NumericalError",
+                           error="injected", attempts=2, seeds=(1, 2))
+        with simulated_disk_full(fail_after=1):
+            ckpt.record(ckpt.cell_key("heuristic1", 0, 0), failed)
+            with pytest.raises(CheckpointError):
+                ckpt.record(ckpt.cell_key("heuristic1", 0, 1), failed)
+        assert os.fsync is not None  # the real fsync was restored
+
+    def test_save_results_under_disk_full_keeps_previous_file(
+            self, single_config, tmp_path):
+        result = sweep(single_config, "n_channels", [4], ["heuristic1"],
+                       n_runs=1)
+        path = tmp_path / "results.json"
+        save_results(result, path)
+        good = path.read_text()
+
+        with simulated_disk_full():
+            with pytest.raises(OSError):
+                save_results(result, path)
+        assert path.read_text() == good
+        assert [p.name for p in tmp_path.iterdir()] == ["results.json"]

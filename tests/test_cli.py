@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import signal
+
 import pytest
 
+from repro import cli
 from repro.cli import FIGURES, build_parser, main
+from repro.exec.supervisor import (
+    EXIT_DEADLINE,
+    EXIT_FAILED_RUNS,
+    EXIT_INTERRUPTED,
+)
+from repro.utils.errors import SweepDeadlineExceeded, SweepInterrupted
 
 
 class TestParser:
@@ -80,3 +89,84 @@ class TestExecution:
         assert "per phase" in captured.out
         # --profile alone must not narrate per-cell lines.
         assert "heuristic1|0|0" not in captured.err
+
+
+class TestSupervisionFlags:
+    def test_budget_flags_parse(self):
+        args = build_parser().parse_args(
+            ["fig4b", "--cell-timeout", "30", "--deadline", "600",
+             "--fail-on-error"])
+        assert args.cell_timeout == 30.0
+        assert args.deadline == 600.0
+        assert args.fail_on_error is True
+
+    def test_budget_flags_default_off(self):
+        args = build_parser().parse_args(["fig4b"])
+        assert args.cell_timeout is None
+        assert args.deadline is None
+        assert args.fail_on_error is False
+
+    def test_simulate_runs_under_supervision(self, capsys):
+        # A generous budget must not change the happy path at all.
+        assert main(["simulate", "--runs", "1", "--gops", "1",
+                     "--scheme", "heuristic1", "--cell-timeout", "120"]) == 0
+        assert "mean PSNR" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The documented contract: 0 success, 3 failed replications under
+    --fail-on-error, 4 interrupted, 5 deadline expired."""
+
+    def test_failed_runs_tolerated_by_default(self, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "_run_figure",
+                            lambda name, args: ("report", 2))
+        assert main(["fig4b", "--runs", "1"]) == 0
+
+    def test_fail_on_error_exits_3(self, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "_run_figure",
+                            lambda name, args: ("report", 2))
+        assert main(["fig4b", "--runs", "1",
+                     "--fail-on-error"]) == EXIT_FAILED_RUNS
+        assert "2 replication(s) failed" in capsys.readouterr().err
+
+    def test_fail_on_error_with_clean_run_exits_0(self, capsys, monkeypatch):
+        monkeypatch.setattr(cli, "_run_figure",
+                            lambda name, args: ("report", 0))
+        assert main(["fig4b", "--runs", "1", "--fail-on-error"]) == 0
+
+    def test_all_accumulates_failures_across_figures(self, capsys,
+                                                     monkeypatch):
+        monkeypatch.setattr(cli, "_run_figure",
+                            lambda name, args: (f"report {name}", 1))
+        monkeypatch.setattr(
+            cli, "run_fig4a",
+            lambda **kwargs: pytest.fail("fig4a not expected here"))
+        # Restrict "all" to two sweep figures for speed.
+        monkeypatch.setattr(cli, "FIGURES", ("fig4b", "fig6a"))
+        assert main(["all", "--fail-on-error"]) == EXIT_FAILED_RUNS
+        assert "2 replication(s) failed" in capsys.readouterr().err
+
+    def test_interrupted_sweep_exits_4(self, capsys, monkeypatch):
+        def interrupted(name, args):
+            raise SweepInterrupted("drained 5 of 12 cells")
+
+        monkeypatch.setattr(cli, "_run_figure", interrupted)
+        assert main(["fig4b", "--runs", "1"]) == EXIT_INTERRUPTED
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_expired_deadline_exits_5(self, capsys, monkeypatch):
+        def expired(name, args):
+            raise SweepDeadlineExceeded("0.6s budget spent")
+
+        monkeypatch.setattr(cli, "_run_figure", expired)
+        assert main(["fig4b", "--runs", "1",
+                     "--deadline", "0.6"]) == EXIT_DEADLINE
+        assert "deadline exceeded" in capsys.readouterr().err
+
+    def test_main_restores_signal_handlers(self, monkeypatch):
+        monkeypatch.setattr(cli, "_run_figure", lambda name, args: ("", 0))
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        main(["fig4b", "--runs", "1"])
+        assert signal.getsignal(signal.SIGINT) == before_int
+        assert signal.getsignal(signal.SIGTERM) == before_term
