@@ -1,0 +1,123 @@
+"""Scenario store: cold build vs cached (memory / disk) build cost.
+
+Measures how long :func:`repro.sim.build.build_scenario` takes on the
+interfering scenario cold, against a memory-warm :class:`ScenarioStore`
+hit and a disk-warm workspace load, then verifies the cached artifact
+drives the engine to bit-identical metrics.  The measurement trajectory
+accumulates in ``BENCH_store.json`` (uploaded by the CI workspace job).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_GOPS, BENCH_SEED, report
+from repro.experiments.scenarios import interfering_fbs_scenario
+from repro.sim.build import build_scenario
+from repro.sim.checkpoint import run_metrics_to_dict
+from repro.sim.engine import SimulationEngine
+from repro.store.confighash import scenario_hash
+from repro.store.scenario_store import ScenarioStore
+from repro.store.workspace import FileWorkspace
+
+#: Required speedup of a memory-cached build over a cold build.
+MIN_CACHED_SPEEDUP = 5.0
+
+#: Timing loop length (per-build cost is small; averaging steadies it).
+ROUNDS = 20
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where the build-cost trajectory accumulates (uploaded by CI).
+BENCH_JSON = _REPO_ROOT / "BENCH_store.json"
+
+
+def _append_history(entry):
+    """Append one measurement to the ``BENCH_store.json`` trajectory."""
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text())
+        except (json.JSONDecodeError, OSError):
+            history = []
+    if not isinstance(history, list):
+        history = [history]
+    history.append(entry)
+    BENCH_JSON.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def _timed(fn, rounds=ROUNDS):
+    start = time.perf_counter()
+    for _ in range(rounds):
+        result = fn()
+    return result, (time.perf_counter() - start) / rounds
+
+
+def test_bench_store_build_cache(benchmark, tmp_path):
+    config = interfering_fbs_scenario(
+        n_gops=BENCH_GOPS, seed=BENCH_SEED, scheme="proposed-fast")
+    ref = scenario_hash(config)
+    workspace = FileWorkspace(tmp_path / "ws")
+
+    def measure():
+        # Cold: the full derivation (CSI scales, R-D demands, sensing
+        # layouts), as every replication paid before the build/run split.
+        cold_built, cold_s = _timed(
+            lambda: build_scenario(config, scenario_hash=ref))
+        # Memory-warm: what a replication pays against the store.
+        store = ScenarioStore(workspace=workspace)
+        store.get_or_build(config)
+        cached_built, cached_s = _timed(lambda: store.get_or_build(config))
+        # Disk-warm: first touch of a fresh process over a warmed
+        # workspace (a --jobs worker, or a rerun next session).
+        def disk_load():
+            fresh = ScenarioStore(workspace=workspace)
+            return fresh.get_or_build(config)
+        disk_built, disk_s = _timed(disk_load)
+        return cold_built, cold_s, cached_built, cached_s, disk_built, disk_s
+
+    (cold_built, cold_s, cached_built, cached_s,
+     disk_built, disk_s) = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # The cached artifact must drive the engine exactly like a cold one.
+    cold_metrics = SimulationEngine(config, built=cold_built).run()
+    cached_metrics = SimulationEngine(config, built=cached_built).run()
+    disk_metrics = SimulationEngine(config, built=disk_built).run()
+    fingerprints = {json.dumps(run_metrics_to_dict(m), sort_keys=True)
+                    for m in (cold_metrics, cached_metrics, disk_metrics)}
+    identical = len(fingerprints) == 1
+
+    cached_speedup = cold_s / cached_s if cached_s > 0 else float("inf")
+    disk_speedup = cold_s / disk_s if disk_s > 0 else float("inf")
+
+    _append_history({
+        "benchmark": "store-build-cache",
+        "scenario": "interfering",
+        "gops": BENCH_GOPS,
+        "seed": BENCH_SEED,
+        "rounds": ROUNDS,
+        "cold_build_ms": round(cold_s * 1e3, 4),
+        "cached_build_ms": round(cached_s * 1e3, 4),
+        "disk_load_ms": round(disk_s * 1e3, 4),
+        "cached_speedup": round(cached_speedup, 2),
+        "disk_speedup": round(disk_speedup, 2),
+        "bit_identical": identical,
+    })
+
+    report("Scenario store: cold vs cached build", "\n".join([
+        f"scenario         : interfering FBSs, {BENCH_GOPS} GOPs",
+        f"cold build       : {cold_s * 1e3:10.4f} ms",
+        f"memory-cached    : {cached_s * 1e3:10.4f} ms "
+        f"({cached_speedup:8.1f}x, required >= {MIN_CACHED_SPEEDUP}x)",
+        f"disk-loaded      : {disk_s * 1e3:10.4f} ms "
+        f"({disk_speedup:8.1f}x)",
+        f"bit-identical    : {identical}",
+        f"trajectory       : {BENCH_JSON.name}",
+    ]))
+
+    assert identical, (
+        "a cached scenario build drove the engine to different metrics "
+        "than a cold build -- the store must be a pure accelerator")
+    assert cached_speedup >= MIN_CACHED_SPEEDUP, (
+        f"expected a memory-cached build to be >= {MIN_CACHED_SPEEDUP}x "
+        f"faster than a cold build, measured {cached_speedup:.2f}x")

@@ -49,6 +49,10 @@ from repro.utils.errors import SweepDeadlineExceeded, SweepInterrupted
 #: Figure commands in run order for ``python -m repro all``.
 FIGURES = ("fig3", "fig4a", "fig4b", "fig4c", "fig6a", "fig6b", "fig6c")
 
+#: The subset of figure commands that run parameter sweeps (and hence
+#: take checkpoints and register scenario hashes in a workspace).
+SWEEP_FIGURES = ("fig4b", "fig4c", "fig6a", "fig6b", "fig6c")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
@@ -109,6 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit with code 3 when any replication failed "
                             "after its retry (including cells killed by "
                             "--cell-timeout) instead of just reporting it")
+        p.add_argument("--workspace", metavar="DIR", default=None,
+                       help="managed artifact workspace: cache built "
+                            "scenarios under DIR/scenarios/, default "
+                            "--output into DIR/results/ and --checkpoint "
+                            "into DIR/checkpoints/, and register the run "
+                            "in DIR/index.json (see `repro workspace`)")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -136,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scheme", default="proposed-fast",
                           choices=("proposed", "proposed-fast",
                                    "heuristic1", "heuristic2"))
+
+    workspace = sub.add_parser(
+        "workspace", help="inspect or garbage-collect a managed workspace")
+    workspace.add_argument("action", choices=("list", "inspect", "gc"),
+                           help="list runs and cached scenarios, inspect "
+                                "one run's artifacts, or remove cached "
+                                "scenarios no live checkpoint references")
+    workspace.add_argument("name", nargs="?", default=None,
+                           help="run name to inspect (inspect only)")
+    workspace.add_argument("--workspace", metavar="DIR", default=None,
+                           help="workspace directory (default: the "
+                                "REPRO_WORKSPACE environment variable)")
+    workspace.add_argument("--dry-run", action="store_true",
+                           help="gc only: report what would be removed "
+                                "without deleting anything")
     return parser
 
 
@@ -151,27 +176,60 @@ def _maybe_chart(result, args, *, upper_bound: bool = False) -> List[str]:
     return ["", chart_sweep(result, include_upper_bound=upper_bound)]
 
 
-def _maybe_save(result, args) -> List[str]:
+def _maybe_save(result, args, command: Optional[str] = None) -> List[str]:
     output = getattr(args, "output", None)
     if not output:
         return []
+    command = command or getattr(args, "command", "")
     from repro.experiments.results_io import save_results
     path = save_results(
         result, output,
-        provenance=obs.result_provenance(seed=getattr(args, "seed", None)))
+        provenance=obs.result_provenance(
+            seed=getattr(args, "seed", None),
+            config=_base_config(args, command=command)))
     lines = [f"[saved to {path}]"]
     # The full manifest carries wall clock and platform details, so it
     # goes in a sidecar: the results file itself stays byte-identical
     # across identical runs.
     manifest_path = f"{path}.manifest.json"
-    obs.write_manifest(manifest_path, _make_manifest(args))
+    obs.write_manifest(manifest_path, _make_manifest(args, command=command))
     lines.append(f"[manifest at {manifest_path}]")
+    workspace = getattr(args, "_workspace", None)
+    if workspace is not None:
+        workspace.register_run(command, results=[str(path)],
+                               manifest=manifest_path)
+        lines.append(f"[registered run {command!r} in {workspace.root}]")
     return lines
 
 
-def _base_config(args):
+def _apply_workspace(args) -> None:
+    """Activate ``--workspace`` and default-fill the artifact paths.
+
+    For single-figure commands, an unset ``--output`` lands in the
+    workspace's ``results/`` directory; for sweep figures, an unset
+    ``--checkpoint`` lands in ``checkpoints/`` (so every workspace run
+    is resumable by default).  ``all`` runs several figures against one
+    ``args`` namespace, so it only gets the scenario cache and run
+    registration, not path defaults.
+    """
+    root = getattr(args, "workspace", None)
+    if root is None:
+        args._workspace = None
+        return
+    from repro.store.scenario_store import activate_workspace
+    workspace = activate_workspace(root)
+    args._workspace = workspace
+    command = args.command
+    if command in FIGURES and getattr(args, "output", None) is None:
+        args.output = str(workspace.results_path(f"{command}.json"))
+    if command in SWEEP_FIGURES and getattr(args, "checkpoint", None) is None:
+        args.checkpoint = str(workspace.checkpoint_path(f"{command}.jsonl"))
+
+
+def _base_config(args, command: Optional[str] = None):
     """The command's base scenario config (for the manifest fingerprint)."""
-    command = getattr(args, "command", "")
+    if command is None:
+        command = getattr(args, "command", "")
     scenario = getattr(args, "scenario", None)
     interfering = (command.startswith("fig6")
                    or scenario == "interfering")
@@ -184,10 +242,11 @@ def _base_config(args):
     return builder(**kwargs)
 
 
-def _make_manifest(args) -> dict:
+def _make_manifest(args, command: Optional[str] = None) -> dict:
+    command = command or getattr(args, "command", "")
     return obs.run_manifest(
-        command=getattr(args, "command", ""),
-        config=_base_config(args),
+        command=command,
+        config=_base_config(args, command=command),
         seed=getattr(args, "seed", None),
         extra={"jobs": getattr(args, "jobs", 1),
                "runs": getattr(args, "runs", None)})
@@ -234,10 +293,11 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     jobs = getattr(args, "jobs", 1)
     budgets = {"cell_timeout": getattr(args, "cell_timeout", None),
                "deadline": getattr(args, "deadline", None)}
+    workspace = getattr(args, "_workspace", None)
     if name == "fig3":
         rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
-                        jobs=jobs, **budgets)
-        return "\n".join(_maybe_save(rows, args) + [
+                        jobs=jobs, workspace=workspace, **budgets)
+        return "\n".join(_maybe_save(rows, args, command=name) + [
             _heading("Fig. 3: per-user Y-PSNR (dB), single FBS"),
             format_fig3(rows),
             f"max per-user gain of proposed over a heuristic: "
@@ -248,8 +308,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     if name == "fig4b":
         result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker, **budgets)
-        return "\n".join(_maybe_save(result, args) + [
+                           progress=tracker, workspace=workspace,
+                           run_name=name, **budgets)
+        return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
             format_sweep(result, value_format="M={}"),
         ] + _health_lines(result) + _maybe_chart(result, args)
@@ -257,8 +318,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     if name == "fig4c":
         result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker, **budgets)
-        return "\n".join(_maybe_save(result, args) + [
+                           progress=tracker, workspace=workspace,
+                           run_name=name, **budgets)
+        return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
             format_sweep(result, value_format="eta={}"),
         ] + _health_lines(result) + _maybe_chart(result, args)
@@ -266,8 +328,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     if name == "fig6a":
         result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker, **budgets)
-        return "\n".join(_maybe_save(result, args) + [
+                           progress=tracker, workspace=workspace,
+                           run_name=name, **budgets)
+        return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
             format_sweep(result, upper_bound=True, value_format="eta={}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
@@ -275,8 +338,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     if name == "fig6b":
         result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker, **budgets)
-        return "\n".join(_maybe_save(result, args) + [
+                           progress=tracker, workspace=workspace,
+                           run_name=name, **budgets)
+        return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
             format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
@@ -284,8 +348,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     if name == "fig6c":
         result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
-                           progress=tracker, **budgets)
-        return "\n".join(_maybe_save(result, args) + [
+                           progress=tracker, workspace=workspace,
+                           run_name=name, **budgets)
+        return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
             format_sweep(result, upper_bound=True, value_format="B0={}"),
         ] + _health_lines(result) + _maybe_chart(result, args, upper_bound=True)
@@ -300,7 +365,8 @@ def _run_simulate(args) -> Tuple[str, int]:
     summary = MonteCarloRunner(
         config, n_runs=args.runs, jobs=getattr(args, "jobs", 1),
         cell_timeout=getattr(args, "cell_timeout", None),
-        deadline=getattr(args, "deadline", None)).summary()
+        deadline=getattr(args, "deadline", None),
+        workspace=getattr(args, "_workspace", None)).summary()
     lines = [_heading(f"{args.scenario} scenario, scheme={args.scheme}")]
     for user_id, ci in sorted(summary.per_user_psnr.items()):
         lines.append(f"user {user_id}: {ci}")
@@ -320,8 +386,63 @@ def _run_simulate(args) -> Tuple[str, int]:
     return "\n".join(lines), summary.n_failed
 
 
+def _run_workspace(args) -> int:
+    """The ``repro workspace list|inspect|gc`` subcommand."""
+    import json
+    import os
+
+    from repro.store.scenario_store import ENV_WORKSPACE
+    from repro.store.workspace import FileWorkspace
+    from repro.utils.errors import ConfigurationError
+
+    root = getattr(args, "workspace", None) or os.environ.get(ENV_WORKSPACE)
+    if not root:
+        print("workspace: no directory given "
+              "(use --workspace DIR or set REPRO_WORKSPACE)", file=sys.stderr)
+        return 2
+    workspace = FileWorkspace(root)
+    if args.action == "list":
+        print(f"workspace at {workspace.root}")
+        refs = workspace.scenario_refs()
+        print(f"cached scenarios: {len(refs)}")
+        entries = workspace.entries()
+        print(f"registered runs: {len(entries)}")
+        for name in sorted(entries):
+            entry = entries[name]
+            parts = [f"{len(entry.get('results', []))} result(s)",
+                     f"{len(entry.get('scenario_hashes', []))} scenario(s)"]
+            checkpoint = entry.get("checkpoint")
+            if checkpoint:
+                parts.append(f"checkpoint={checkpoint}")
+            print(f"  {name}: " + ", ".join(parts))
+        return 0
+    if args.action == "inspect":
+        if not args.name:
+            print("workspace inspect: run name required", file=sys.stderr)
+            return 2
+        try:
+            report = workspace.inspect(args.name)
+        except ConfigurationError as exc:
+            print(f"workspace inspect: {exc}", file=sys.stderr)
+            return 2
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    report = workspace.gc(dry_run=getattr(args, "dry_run", False))
+    verb = "would remove" if report["dry_run"] else "removed"
+    print(f"{verb} {len(report['removed_scenarios'])} cached scenario(s), "
+          f"kept {len(report['kept_scenarios'])} "
+          f"(live checkpoints), pruned {len(report['pruned_runs'])} "
+          f"stale run entr{'y' if len(report['pruned_runs']) == 1 else 'ies'}")
+    for ref in report["removed_scenarios"]:
+        print(f"  - {ref}")
+    return 0
+
+
 def _dispatch(args) -> int:
     """Run the parsed command (observability already configured)."""
+    if args.command == "workspace":
+        return _run_workspace(args)
+    _apply_workspace(args)
     n_failed = 0
     if args.command == "fig4a":
         result = run_fig4a(seed=args.seed, step_size=args.step_size)

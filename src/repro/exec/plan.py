@@ -23,6 +23,27 @@ from repro.utils.errors import ConfigurationError
 CAMPAIGN_PARAMETER = "<campaign>"
 
 
+def _scenario_ref(config: ScenarioConfig) -> Optional[str]:
+    """The config's scenario hash, or ``None`` with the store disabled.
+
+    Computed once per sweep point in the planning process; scheme and
+    seed variations of the point share the hash by construction
+    (:func:`~repro.store.confighash.scenario_hash` covers only the
+    build-feeding fields).
+    """
+    from repro.store.confighash import scenario_hash
+    from repro.store.scenario_store import store_enabled
+
+    if not store_enabled():
+        return None
+    try:
+        return scenario_hash(config)
+    except TypeError:
+        # No content identity (e.g. a test-double topology): the cell
+        # builds its scenario inline, exactly as with the store off.
+        return None
+
+
 @dataclass(frozen=True)
 class Cell:
     """One unit of Monte-Carlo work: a single replication of one scenario.
@@ -40,12 +61,21 @@ class Cell:
     config:
         The fully derived scenario configuration (sweep value, scheme,
         root seed all applied).
+    scenario_ref:
+        The config's :func:`~repro.store.confighash.scenario_hash`,
+        computed at planning time (``None`` when the scenario store is
+        disabled).  Workers resolve it against their
+        :class:`~repro.store.scenario_store.ScenarioStore` instead of
+        rebuilding the scenario; computing it here also memoizes the
+        expensive topology digest on the (shared, pickled-once)
+        topology object, so a worker's own hash lookups are O(1).
     """
 
     scheme: str
     point_index: int
     run_index: int
     config: ScenarioConfig
+    scenario_ref: Optional[str] = None
 
     @property
     def key(self) -> str:
@@ -103,11 +133,13 @@ def plan_sweep(base_config: ScenarioConfig, parameter: str,
             point_config = configure(base_config, value)
         else:
             point_config = base_config.replace(**{parameter: value})
+        ref = _scenario_ref(point_config)
         for scheme in schemes:
             scheme_config = point_config.with_scheme(scheme)
             for run_index in range(n_runs):
                 cells.append(Cell(scheme=scheme, point_index=point_index,
-                                  run_index=run_index, config=scheme_config))
+                                  run_index=run_index, config=scheme_config,
+                                  scenario_ref=ref))
     return SweepPlan(parameter=parameter, values=tuple(values),
                      schemes=tuple(schemes), n_runs=int(n_runs),
                      seed=base_config.seed, cells=tuple(cells))
@@ -122,9 +154,10 @@ def plan_campaign(config: ScenarioConfig, n_runs: int) -> SweepPlan:
     """
     if n_runs < 1:
         raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    ref = _scenario_ref(config)
     cells = tuple(
         Cell(scheme=config.scheme, point_index=0, run_index=run_index,
-             config=config)
+             config=config, scenario_ref=ref)
         for run_index in range(n_runs))
     return SweepPlan(parameter=CAMPAIGN_PARAMETER, values=(None,),
                      schemes=(config.scheme,), n_runs=int(n_runs),

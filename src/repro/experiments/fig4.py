@@ -86,33 +86,40 @@ def run_fig4b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               channels: Sequence[int] = FIG4B_CHANNELS,
               schemes: Sequence[str] = FIG4_SCHEMES,
               checkpoint_path=None, jobs=None, progress=None,
-              cell_timeout=None, deadline=None) -> SweepResult:
+              cell_timeout=None, deadline=None,
+              workspace=None, run_name=None) -> SweepResult:
     """Regenerate Fig. 4(b): PSNR vs number of licensed channels.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
     multi-process execution with bit-identical results (see
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
-    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink;
+    ``workspace`` / ``run_name`` register the run in a managed artifact
+    workspace (see :mod:`repro.store.workspace`).
     """
     logger.info("fig4b: %d runs x %d GOPs, seed %s, channels %s, jobs %s",
                 n_runs, n_gops, seed, list(channels), jobs)
     base = single_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "n_channels", list(channels), schemes, n_runs=n_runs,
                  checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
-                 cell_timeout=cell_timeout, deadline=deadline)
+                 cell_timeout=cell_timeout, deadline=deadline,
+                 workspace=workspace, run_name=run_name)
 
 
 def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               utilizations: Sequence[float] = FIG4C_UTILIZATIONS,
               schemes: Sequence[str] = FIG4_SCHEMES,
               checkpoint_path=None, jobs=None, progress=None,
-              cell_timeout=None, deadline=None) -> SweepResult:
+              cell_timeout=None, deadline=None,
+              workspace=None, run_name=None) -> SweepResult:
     """Regenerate Fig. 4(c): PSNR vs channel utilisation.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
     multi-process execution with bit-identical results (see
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
-    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink;
+    ``workspace`` / ``run_name`` register the run in a managed artifact
+    workspace (see :mod:`repro.store.workspace`).
     """
     logger.info("fig4c: %d runs x %d GOPs, seed %s, utilizations %s, jobs %s",
                 n_runs, n_gops, seed, list(utilizations), jobs)
@@ -121,5 +128,6 @@ def run_fig4c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
         configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)),
         checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
-        cell_timeout=cell_timeout, deadline=deadline)
+        cell_timeout=cell_timeout, deadline=deadline,
+        workspace=workspace, run_name=run_name)
     return result

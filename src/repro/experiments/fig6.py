@@ -33,13 +33,16 @@ def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               utilizations: Sequence[float] = FIG6A_UTILIZATIONS,
               schemes: Sequence[str] = FIG6_SCHEMES,
               checkpoint_path=None, jobs=None, progress=None,
-              cell_timeout=None, deadline=None) -> SweepResult:
+              cell_timeout=None, deadline=None,
+              workspace=None, run_name=None) -> SweepResult:
     """Regenerate Fig. 6(a): PSNR vs utilisation under interference.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
     multi-process execution with bit-identical results (see
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
-    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink;
+    ``workspace`` / ``run_name`` register the run in a managed artifact
+    workspace (see :mod:`repro.store.workspace`).
     """
     logger.info("fig6a: %d runs x %d GOPs, seed %s, utilizations %s, jobs %s",
                 n_runs, n_gops, seed, list(utilizations), jobs)
@@ -48,20 +51,24 @@ def run_fig6a(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
         base, "utilization", list(utilizations), schemes, n_runs=n_runs,
         configure=lambda cfg, eta: cfg.replace(p01=utilization_to_p01(eta)),
         checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
-        cell_timeout=cell_timeout, deadline=deadline)
+        cell_timeout=cell_timeout, deadline=deadline,
+        workspace=workspace, run_name=run_name)
 
 
 def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               error_pairs: Sequence[Tuple[float, float]] = FIG6B_ERROR_PAIRS,
               schemes: Sequence[str] = FIG6_SCHEMES,
               checkpoint_path=None, jobs=None, progress=None,
-              cell_timeout=None, deadline=None) -> SweepResult:
+              cell_timeout=None, deadline=None,
+              workspace=None, run_name=None) -> SweepResult:
     """Regenerate Fig. 6(b): PSNR vs sensing-error operating point.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
     multi-process execution with bit-identical results (see
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
-    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink;
+    ``workspace`` / ``run_name`` register the run in a managed artifact
+    workspace (see :mod:`repro.store.workspace`).
     """
     logger.info("fig6b: %d runs x %d GOPs, seed %s, error pairs %s, jobs %s",
                 n_runs, n_gops, seed, list(error_pairs), jobs)
@@ -71,24 +78,29 @@ def run_fig6b(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
         configure=lambda cfg, pair: cfg.replace(
             false_alarm=pair[0], miss_detection=pair[1]),
         checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
-        cell_timeout=cell_timeout, deadline=deadline)
+        cell_timeout=cell_timeout, deadline=deadline,
+        workspace=workspace, run_name=run_name)
 
 
 def run_fig6c(*, n_runs: int = 10, n_gops: int = 3, seed: int = 7,
               bandwidths: Sequence[float] = FIG6C_BANDWIDTHS,
               schemes: Sequence[str] = FIG6_SCHEMES,
               checkpoint_path=None, jobs=None, progress=None,
-              cell_timeout=None, deadline=None) -> SweepResult:
+              cell_timeout=None, deadline=None,
+              workspace=None, run_name=None) -> SweepResult:
     """Regenerate Fig. 6(c): PSNR vs common-channel bandwidth ``B0``.
 
     ``checkpoint_path`` enables per-cell checkpoint/resume and ``jobs``
     multi-process execution with bit-identical results (see
     :func:`repro.sim.runner.sweep`); ``progress`` takes a
-    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink.
+    :class:`~repro.exec.progress.ProgressTracker`-like telemetry sink;
+    ``workspace`` / ``run_name`` register the run in a managed artifact
+    workspace (see :mod:`repro.store.workspace`).
     """
     logger.info("fig6c: %d runs x %d GOPs, seed %s, bandwidths %s, jobs %s",
                 n_runs, n_gops, seed, list(bandwidths), jobs)
     base = interfering_fbs_scenario(n_gops=n_gops, seed=seed)
     return sweep(base, "common_bandwidth_mbps", list(bandwidths), schemes,
                  n_runs=n_runs, checkpoint_path=checkpoint_path, jobs=jobs, progress=progress,
-                 cell_timeout=cell_timeout, deadline=deadline)
+                 cell_timeout=cell_timeout, deadline=deadline,
+                 workspace=workspace, run_name=run_name)

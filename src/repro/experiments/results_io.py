@@ -13,8 +13,6 @@ round-trips them.
 from __future__ import annotations
 
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, List, Union
 
@@ -28,7 +26,7 @@ from repro.obs.logging import get_logger
 from repro.sim.metrics import MetricsSummary
 from repro.sim.runner import SweepResult
 from repro.utils.errors import ConfigurationError
-from repro.utils.fsio import fsync_dir
+from repro.utils.fsio import atomic_write_text
 from repro.utils.stats import ConfidenceInterval
 
 logger = get_logger(__name__)
@@ -170,10 +168,13 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
     loader) cannot read back.
 
     Every file carries a ``provenance`` header -- seed, backend
-    (scalar/batched), acceleration flag -- so an archived figure is
-    reproducible from the artifact alone.  Pass ``provenance`` (see
-    :func:`repro.obs.export.result_provenance`) to record the root seed;
-    omitted, the header still records backend and acceleration (with
+    (scalar/batched), acceleration flag, and (when the caller passes the
+    run's config to :func:`repro.obs.export.result_provenance`) the
+    ``scenario_hash`` / ``config_hash`` pair tying the result to its
+    cached scenario artifact -- so an archived figure is reproducible
+    from the artifact alone and :func:`read_provenance` can locate the
+    exact ``scenarios/<hash>.json`` it was computed against.  Omitted,
+    the header still records backend and acceleration (with
     ``seed: null``).  Only deterministic values belong here: the header
     must not break byte-identity between identical runs.
     """
@@ -194,26 +195,7 @@ def save_results(obj: Union[SweepResult, List[Fig3Row], Fig4aResult],
         raise ConfigurationError(
             f"result contains non-finite floats and cannot be saved as "
             f"portable JSON: {exc}") from exc
-    path = Path(path)
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or ".")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        # Leave no temp debris behind on any failure (including
-        # KeyboardInterrupt mid-write); the destination is untouched.
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    # The rename is only durable once the directory entry itself is
-    # synced; without this a power loss can resurrect the old file.
-    fsync_dir(path.parent or ".")
+    path = atomic_write_text(path, text)
     logger.info("saved %s results to %s", payload["kind"], path)
     return path
 

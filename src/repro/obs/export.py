@@ -22,17 +22,15 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import platform
 import sys
-import tempfile
 import time
 from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import IO, Mapping, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry, split_sample_name
-from repro.utils.fsio import fsync_dir
+from repro.utils.fsio import atomic_write_text
 
 _PRIMITIVES = (bool, int, float, str, type(None))
 
@@ -70,19 +68,37 @@ def config_fingerprint(config: object) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def result_provenance(*, seed: Optional[int] = None) -> dict:
-    """The deterministic provenance triple embedded in saved results.
+def result_provenance(*, seed: Optional[int] = None,
+                      config: Optional[object] = None) -> dict:
+    """The deterministic provenance record embedded in saved results.
 
     ``backend`` reports which slot-phase implementation the engine
     selects under the current acceleration switch (batched when
-    acceleration is on, scalar oracle otherwise).
+    acceleration is on, scalar oracle otherwise).  Passing the run's
+    base ``config`` additionally records its
+    :func:`~repro.store.confighash.scenario_hash` and
+    :func:`~repro.store.confighash.config_hash`, tying the result file
+    to the cached scenario artifact it was computed against (both are
+    pure functions of the config, so they never break byte-identity
+    between identical runs -- store on or off).
     """
     from repro.core.accel import acceleration_enabled
 
     accelerated = acceleration_enabled()
-    return {"seed": seed,
-            "backend": "batched" if accelerated else "scalar",
-            "acceleration": accelerated}
+    provenance = {"seed": seed,
+                  "backend": "batched" if accelerated else "scalar",
+                  "acceleration": accelerated}
+    if config is not None:
+        from repro.store.confighash import config_hash, scenario_hash
+
+        try:
+            provenance["scenario_hash"] = scenario_hash(config)
+            provenance["config_hash"] = config_hash(config)
+        except TypeError:
+            # A config with no content identity (test doubles) simply
+            # omits the hashes, like results saved without a config.
+            pass
+    return provenance
 
 
 def run_manifest(*, command: str, config: Optional[object] = None,
@@ -100,7 +116,7 @@ def run_manifest(*, command: str, config: Optional[object] = None,
         "config_fingerprint": (config_fingerprint(config)
                                if config is not None else None),
     }
-    manifest.update(result_provenance(seed=seed))
+    manifest.update(result_provenance(seed=seed, config=config))
     if extra:
         manifest.update(extra)
     return manifest
@@ -109,30 +125,14 @@ def run_manifest(*, command: str, config: Optional[object] = None,
 def write_manifest(path: str, manifest: Mapping[str, object]) -> None:
     """Write a manifest as pretty-printed JSON, atomically.
 
-    Same discipline as ``results_io.save_results``: serialise to a
-    temporary file in the destination directory, fsync, ``os.replace``
-    over the target, then fsync the directory.  A crash mid-write can
-    therefore never leave a torn ``*.manifest.json`` sidecar next to
-    valid results -- either the old manifest survives or the new one is
+    Same discipline as ``results_io.save_results`` (via
+    :func:`repro.utils.fsio.atomic_write_text`): a crash mid-write can
+    never leave a torn ``*.manifest.json`` sidecar next to valid
+    results -- either the old manifest survives or the new one is
     complete.
     """
-    target = Path(path)
-    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=f".{target.name}.", suffix=".tmp", dir=target.parent or ".")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, target)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-    fsync_dir(target.parent)
+    text = json.dumps(manifest, indent=2, sort_keys=True)
+    atomic_write_text(Path(path), text)
 
 
 def read_manifest(path: str) -> dict:

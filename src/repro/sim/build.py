@@ -1,0 +1,221 @@
+"""The build half of the build/run split: per-scenario invariants.
+
+Every quantity the simulation engine derives from the *physical*
+scenario alone -- per-link Rayleigh margin scales, stationary channel
+utilisations, the round-robin sensing scatter layouts, the per-user R-D
+demand constants, the FBS id grid -- is independent of scheme, seed,
+replication index, and simulation horizon.  Historically each
+:class:`~repro.sim.engine.SimulationEngine` recomputed all of it in its
+constructor, once per replication; a 100-point sensitivity sweep with 10
+replications and 3 schemes therefore rebuilt the same handful of
+scenarios 3000 times.
+
+:func:`build_scenario` performs that derivation once and packages it as
+a :class:`BuiltScenario`, which the engine accepts pre-built (``built=``)
+and the :class:`~repro.store.scenario_store.ScenarioStore` caches by
+:func:`~repro.store.confighash.scenario_hash`.  The artifact is strictly
+read-only at run time and fully JSON-serialisable
+(:meth:`BuiltScenario.to_payload` / :meth:`BuiltScenario.from_payload`
+round-trip bit-exactly), so a :class:`~repro.store.workspace.FileWorkspace`
+can persist it across processes and sessions.
+
+Bit-identity contract: an engine running from a ``BuiltScenario`` --
+fresh, memory-cached, or loaded from disk -- produces byte-identical
+results to one that derives everything itself.  Asserted by
+``tests/store/test_store_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.config import ScenarioConfig
+from repro.utils.errors import ConfigurationError
+from repro.video.sequences import rd_slot_increment
+
+#: Schema version of serialised built-scenario artifacts.
+BUILD_FORMAT_VERSION = 1
+
+
+@dataclass
+class BuiltScenario:
+    """Read-only per-scenario invariants shared by all of its runs.
+
+    Attributes
+    ----------
+    scenario_hash:
+        The :func:`~repro.store.confighash.scenario_hash` this artifact
+        was built under (``None`` for artifacts built outside a store).
+    csi_user_ids:
+        User ids in topology order; the fading stream is consumed in
+        this interleaved ``(mbs_0, fbs_0, mbs_1, fbs_1, ...)`` order.
+    csi_scales:
+        Interleaved mean decoding margins matching ``csi_user_ids``.
+    etas:
+        Per-channel stationary utilisations ``eta_m``.
+    sorted_user_ids:
+        User ids sorted ascending (the scalar sensing loop order).
+    fbs_ids:
+        Sorted FBS ids present in the demand grid.
+    interfering:
+        Whether the interference graph has any edge (selects the
+        channel-allocation path).
+    demands_static:
+        ``{user_id: static demand fields}`` in topology user order --
+        association, link success probabilities, and the per-slot R-D
+        increment constants ``R = beta * B / T`` for both tiers.
+    sensing_layouts:
+        ``{offset: (user_channels, user_counts, order, sorted_channels,
+        positions)}`` -- the batched sensing scatter for every
+        round-robin offset ``0..M-1`` (the layout repeats with period
+        ``M``).
+    """
+
+    scenario_hash: Optional[str] = None
+    csi_user_ids: List[int] = field(default_factory=list)
+    csi_scales: np.ndarray = field(default_factory=lambda: np.empty(0))
+    etas: np.ndarray = field(default_factory=lambda: np.empty(0))
+    sorted_user_ids: List[int] = field(default_factory=list)
+    fbs_ids: List[int] = field(default_factory=list)
+    interfering: bool = False
+    demands_static: Dict[int, dict] = field(default_factory=dict)
+    sensing_layouts: Dict[int, Tuple[np.ndarray, ...]] = field(
+        default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """JSON-compatible representation (floats round-trip exactly).
+
+        ``json`` serialises Python floats with their shortest
+        round-tripping ``repr``, so every value read back compares
+        bit-equal to the original -- the property the store's
+        byte-identity guarantee rests on.
+        """
+        return {
+            "format_version": BUILD_FORMAT_VERSION,
+            "scenario_hash": self.scenario_hash,
+            "csi_user_ids": [int(uid) for uid in self.csi_user_ids],
+            "csi_scales": [float(x) for x in self.csi_scales],
+            "etas": [float(x) for x in self.etas],
+            "sorted_user_ids": [int(uid) for uid in self.sorted_user_ids],
+            "fbs_ids": [int(i) for i in self.fbs_ids],
+            "interfering": bool(self.interfering),
+            "demands_static": [
+                [int(uid), {
+                    "fbs_id": int(static["fbs_id"]),
+                    "success_mbs": float(static["success_mbs"]),
+                    "success_fbs": float(static["success_fbs"]),
+                    "r_mbs": float(static["r_mbs"]),
+                    "r_fbs": float(static["r_fbs"]),
+                }]
+                for uid, static in self.demands_static.items()
+            ],
+            "sensing_layouts": [
+                [int(offset), [arr.tolist() for arr in layout]]
+                for offset, layout in sorted(self.sensing_layouts.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BuiltScenario":
+        """Reconstruct an artifact written by :meth:`to_payload`."""
+        version = payload.get("format_version")
+        if version != BUILD_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported built-scenario format version {version!r} "
+                f"(this build reads {BUILD_FORMAT_VERSION})")
+        return cls(
+            scenario_hash=payload.get("scenario_hash"),
+            csi_user_ids=[int(uid) for uid in payload["csi_user_ids"]],
+            csi_scales=np.asarray(payload["csi_scales"], dtype=np.float64),
+            etas=np.asarray(payload["etas"], dtype=np.float64),
+            sorted_user_ids=[int(u) for u in payload["sorted_user_ids"]],
+            fbs_ids=[int(i) for i in payload["fbs_ids"]],
+            interfering=bool(payload["interfering"]),
+            demands_static={
+                int(uid): dict(static)
+                for uid, static in payload["demands_static"]
+            },
+            sensing_layouts={
+                int(offset): tuple(np.asarray(arr, dtype=np.int64)
+                                   for arr in layout)
+                for offset, layout in payload["sensing_layouts"]
+            },
+        )
+
+
+def sensing_layout(n_users: int, n_fbs: int, n_channels: int,
+                   offset: int) -> Tuple[np.ndarray, ...]:
+    """The batched sensing scatter for one round-robin offset.
+
+    Users (in sorted-id order) observe channel ``(index + offset) % M``;
+    the layout groups their observations by channel while preserving
+    user order within each channel (stable sort = the scalar loop's
+    append order), and places them after the ``n_fbs`` FBS antenna
+    observations of every channel.
+    """
+    user_channels = (np.arange(n_users) + offset) % n_channels
+    user_counts = np.bincount(user_channels, minlength=n_channels)
+    order = np.argsort(user_channels, kind="stable")
+    sorted_channels = user_channels[order]
+    starts = np.cumsum(user_counts) - user_counts
+    positions = n_fbs + np.arange(n_users) - starts[sorted_channels]
+    return (user_channels, user_counts, order, sorted_channels, positions)
+
+
+def build_scenario(config: ScenarioConfig, *,
+                   scenario_hash: Optional[str] = None) -> BuiltScenario:
+    """Derive every per-scenario invariant the engine needs.
+
+    Pure function of the config's topology and physical parameters
+    (:data:`~repro.store.confighash.SCENARIO_BUILD_FIELDS`); scheme,
+    seed, horizon, and ablation switches never enter, which is what
+    lets one artifact serve a whole sweep grid.
+    """
+    topology = config.topology
+    csi_user_ids = [user.user_id for user in topology.users]
+    csi_scales = np.empty(2 * len(csi_user_ids))
+    csi_scales[0::2] = [topology.mbs_margin[u] for u in csi_user_ids]
+    csi_scales[1::2] = [topology.fbs_margin[u] for u in csi_user_ids]
+
+    # Per-channel stationary utilisation; identical channels in the
+    # paper's evaluation, but kept as an array to match the batched
+    # fusion's consumption (and the Spectrum's per-channel shape).
+    eta = config.p01 / (config.p01 + config.p10)
+    etas = np.full(config.n_channels, eta, dtype=np.float64)
+
+    demands_static: Dict[int, dict] = {}
+    for user in topology.users:
+        demands_static[user.user_id] = {
+            "fbs_id": user.fbs_id,
+            "success_mbs": topology.mbs_success[user.user_id],
+            "success_fbs": topology.fbs_success[user.user_id],
+            "r_mbs": rd_slot_increment(
+                user.sequence_name, config.common_bandwidth_mbps,
+                config.deadline_slots),
+            "r_fbs": rd_slot_increment(
+                user.sequence_name, config.licensed_bandwidth_mbps,
+                config.deadline_slots),
+        }
+
+    n_users = len(topology.users)
+    n_fbs = len(topology.fbss)
+    layouts = {
+        offset: sensing_layout(n_users, n_fbs, config.n_channels, offset)
+        for offset in range(config.n_channels)
+    }
+
+    return BuiltScenario(
+        scenario_hash=scenario_hash,
+        csi_user_ids=csi_user_ids,
+        csi_scales=csi_scales,
+        etas=etas,
+        sorted_user_ids=sorted(csi_user_ids),
+        fbs_ids=sorted({static["fbs_id"]
+                        for static in demands_static.values()}),
+        interfering=topology.interference_graph.number_of_edges() > 0,
+        demands_static=demands_static,
+        sensing_layouts=layouts,
+    )

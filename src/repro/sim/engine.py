@@ -53,6 +53,7 @@ from repro.sensing.detector import (
     sense_observations_batched,
 )
 from repro.sensing.fusion import fuse_posterior, fuse_posteriors_batched
+from repro.sim.build import BuiltScenario, build_scenario
 from repro.sim.channel_assignment import (
     color_partition_allocation,
     expected_channels_of,
@@ -96,12 +97,22 @@ class SimulationEngine:
         The scenario.
     record_slots:
         Keep a :class:`SlotRecord` per slot (memory-heavy for long runs).
+    built:
+        A pre-built :class:`~repro.sim.build.BuiltScenario` holding the
+        per-scenario invariants (typically served by the
+        :class:`~repro.store.scenario_store.ScenarioStore`).  ``None``
+        builds one inline -- bit-identical either way, since
+        :func:`~repro.sim.build.build_scenario` performs exactly the
+        derivation this constructor used to inline.
     """
 
-    def __init__(self, config: ScenarioConfig, *, record_slots: bool = False) -> None:
+    def __init__(self, config: ScenarioConfig, *, record_slots: bool = False,
+                 built: Optional[BuiltScenario] = None) -> None:
         self.config = config
         self.record_slots = bool(record_slots)
         self.records: List[SlotRecord] = []
+        if built is None:
+            built = build_scenario(config)
 
         streams = spawn_streams(
             config.seed, ["spectrum", "sensing", "access", "fading", "traces"])
@@ -142,27 +153,23 @@ class SimulationEngine:
         # Every sensor shares this one stream; the batched backend draws
         # a whole slot's observations from it in one call.
         self._sensing_rng = sensing_rng
-        self._sorted_user_ids = sorted(user.user_id for user in topology.users)
 
-        # Hoisted per-link invariants: the topology is static, so the mean
-        # decoding margins never change across slots.  The scalar oracle
-        # re-reads the per-user margin dicts every slot (kept verbatim);
-        # the batched backend consumes this interleaved vector --
-        # (mbs_0, fbs_0, mbs_1, fbs_1, ...) in topology user order -- so
-        # one exponential array draw walks the fading stream exactly like
-        # the scalar per-user loop.
-        self._csi_user_ids = [user.user_id for user in topology.users]
-        csi_scales = np.empty(2 * len(self._csi_user_ids))
-        csi_scales[0::2] = [topology.mbs_margin[u] for u in self._csi_user_ids]
-        csi_scales[1::2] = [topology.fbs_margin[u] for u in self._csi_user_ids]
-        self._csi_scales = csi_scales
-        # Stationary utilisations are likewise static; the batched fusion
-        # reuses this array instead of rebuilding it every slot.
-        self._etas = self.spectrum.utilizations
-        # The round-robin sensing layout repeats with period M: cache the
-        # per-offset scatter (user order, per-channel counts, target
-        # cells) so steady-state slots skip the argsort entirely.
-        self._sensing_layout: Dict[int, tuple] = {}
+        # Per-scenario invariants come from the BuiltScenario: the
+        # topology is static, so link margins, sensing layouts, demand
+        # constants, and the FBS grid never change across slots -- or
+        # across replications, which is why they are built once and
+        # shared (see repro.sim.build).  The interleaved csi scale
+        # vector -- (mbs_0, fbs_0, mbs_1, fbs_1, ...) in topology user
+        # order -- lets one exponential array draw walk the fading
+        # stream exactly like the scalar per-user loop.
+        self._sorted_user_ids = list(built.sorted_user_ids)
+        self._csi_user_ids = list(built.csi_user_ids)
+        self._csi_scales = built.csi_scales
+        self._etas = built.etas
+        # The round-robin sensing layout repeats with period M; the
+        # built artifact carries every offset's scatter precomputed
+        # (lazily fillable for artifacts from older builds).
+        self._sensing_layout: Dict[int, tuple] = dict(built.sensing_layouts)
 
         self._is_proposed = config.scheme in ("proposed", "proposed-fast")
         allocator_kwargs = (
@@ -178,7 +185,8 @@ class SimulationEngine:
             chain.append(("heuristic1", EqualAllocationHeuristic()))
         self._fallback_chain = FallbackChain(chain)
         self.degradations: List[DegradationEvent] = []
-        self._interfering = topology.interference_graph.number_of_edges() > 0
+        self._interfering = built.interfering
+        self._fbs_ids = list(built.fbs_ids)
         self._greedy = (GreedyChannelAllocator(topology.interference_graph,
                                                memoize=config.memoize_q,
                                                warm_start=config.warm_start)
@@ -192,22 +200,19 @@ class SimulationEngine:
             "sensing": 0.0, "access": 0.0, "allocation": 0.0,
             "transmission": 0.0}
 
+        # Demand constants are shared with the (possibly cached) built
+        # artifact; copied per engine so nothing downstream can mutate
+        # the cache.  GOP clocks are per-run mutable state and stay here.
         self.clocks: Dict[int, GopClock] = {}
-        self._demands_static: Dict[int, dict] = {}
+        self._demands_static: Dict[int, dict] = {
+            user_id: dict(static)
+            for user_id, static in built.demands_static.items()
+        }
         for user in topology.users:
             sequence = get_sequence(user.sequence_name)
             self.clocks[user.user_id] = GopClock(
                 sequence, config.deadline_slots,
                 quantum_db=self._nal_quantum(sequence, 1.0))
-            self._demands_static[user.user_id] = {
-                "fbs_id": user.fbs_id,
-                "success_mbs": topology.mbs_success[user.user_id],
-                "success_fbs": topology.fbs_success[user.user_id],
-                "r_mbs": sequence.rd.slot_increment(
-                    config.common_bandwidth_mbps, config.deadline_slots),
-                "r_fbs": sequence.rd.slot_increment(
-                    config.licensed_bandwidth_mbps, config.deadline_slots),
-            }
         # Per-GOP encoding-complexity traces (extension; constant 1.0
         # when rd_variability is 0, reproducing the paper's model).
         trace_rng = streams["traces"]
@@ -528,7 +533,7 @@ class SimulationEngine:
                 raise NumericalError(
                     f"non-finite fading margin {margins} for user {user_id} "
                     f"at slot {self._slot}")
-        fbs_ids = sorted({static["fbs_id"] for static in self._demands_static.values()})
+        fbs_ids = self._fbs_ids
         greedy_trace: Optional[GreedyTrace] = None
         bound_gap = 0.0
         if not self._interfering:

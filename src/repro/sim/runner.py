@@ -39,6 +39,7 @@ from repro.sim.metrics import (
     RunMetrics,
     summarize_runs,
 )
+from repro.store.scenario_store import activate_workspace, built_for
 from repro.utils.errors import (
     ConfigurationError,
     ReproError,
@@ -50,6 +51,17 @@ logger = get_logger(__name__)
 
 #: Attempts per replication: the first try plus one fresh-seed retry.
 MAX_ATTEMPTS = 2
+
+
+def _run_replication(config: ScenarioConfig) -> RunMetrics:
+    """Fetch (or build) the scenario invariants and run one engine.
+
+    The store lookup happens *here*, together with engine construction,
+    so that under metrics collection both run against the replication's
+    private registry -- cache-hit counters ride the obs snapshot back
+    from pool workers exactly like every other engine metric.
+    """
+    return SimulationEngine(config, built=built_for(config)).run()
 
 
 def execute_run(config: ScenarioConfig, run_index: int
@@ -73,18 +85,18 @@ def execute_run(config: ScenarioConfig, run_index: int
         try:
             with maybe_span("replication", kind="replication", run=run_index,
                             attempt=attempt, seed=seed, scheme=config.scheme):
-                engine = SimulationEngine(config.with_seed(seed))
+                seeded = config.with_seed(seed)
                 if metrics_enabled():
                     # Record the replication against a private registry so
                     # its snapshot can ride back on the RunMetrics (from a
                     # worker process or in-line) and be merged by the
                     # parent -- totals come out identical at any --jobs N.
                     with scoped_registry() as registry:
-                        metrics = engine.run()
+                        metrics = _run_replication(seeded)
                     metrics = replace(metrics,
                                       obs_snapshot=registry.snapshot())
                 else:
-                    metrics = engine.run()
+                    metrics = _run_replication(seeded)
             return metrics, None
         except ReproError as exc:
             last_error = exc
@@ -149,6 +161,10 @@ class MonteCarloRunner:
         Per-replication and whole-campaign wall-clock budgets in
         seconds; either one switches execution to the watchdog
         :class:`~repro.exec.supervisor.SupervisedExecutor`.
+    workspace:
+        Optional :class:`~repro.store.workspace.FileWorkspace` (or
+        directory path); activated as the scenario store's disk cache
+        for this process and its pool workers.
 
     Attributes
     ----------
@@ -162,9 +178,12 @@ class MonteCarloRunner:
                  jobs: Optional[int] = None,
                  executor: Optional[object] = None,
                  cell_timeout: Optional[float] = None,
-                 deadline: Optional[float] = None) -> None:
+                 deadline: Optional[float] = None,
+                 workspace: Optional[object] = None) -> None:
         if n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+        if workspace is not None:
+            activate_workspace(workspace)
         self.config = config
         self.n_runs = int(n_runs)
         self.jobs = jobs
@@ -182,7 +201,7 @@ class MonteCarloRunner:
         plan = self.config.fault_plan
         if plan is not None and hasattr(plan, "begin_run"):
             plan.begin_run(run_index, attempt)
-        return SimulationEngine(self.config.with_seed(seed)).run()
+        return _run_replication(self.config.with_seed(seed))
 
     def run_all(self) -> List[RunMetrics]:
         """Execute every replication and return the surviving runs' metrics.
@@ -281,7 +300,9 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
           jobs: Optional[int] = None, executor: Optional[object] = None,
           progress: Optional[object] = None,
           cell_timeout: Optional[float] = None,
-          deadline: Optional[float] = None) -> SweepResult:
+          deadline: Optional[float] = None,
+          workspace: Optional[object] = None,
+          run_name: Optional[str] = None) -> SweepResult:
     """Sweep one parameter across several schemes.
 
     The sweep is flattened into a deterministic plan of ``(scheme, sweep
@@ -340,6 +361,16 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         does not retry it), while an expired sweep deadline raises
         :class:`~repro.utils.errors.SweepDeadlineExceeded` after
         checkpointing everything that finished.
+    workspace:
+        Optional :class:`~repro.store.workspace.FileWorkspace` (or
+        directory path).  Activated as the scenario store's disk cache
+        (pool workers reattach through the exported environment), and
+        the sweep registers its scenario hashes and checkpoint there
+        under ``run_name`` so ``repro workspace gc`` can protect the
+        artifacts a resumable checkpoint still needs.
+    run_name:
+        Workspace registry name for this sweep (defaults to
+        ``"<parameter>-sweep"``); ignored without ``workspace``.
 
     Notes
     -----
@@ -353,6 +384,11 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
     from repro.exec.plan import plan_sweep
     from repro.exec.supervisor import active_shutdown
 
+    if workspace is not None:
+        # Before planning: planning computes scenario hashes, and the
+        # workers spawned below discover the disk cache through the
+        # environment activate_workspace exports.
+        workspace = activate_workspace(workspace)
     plan = plan_sweep(base_config, parameter, values, schemes,
                       n_runs=n_runs, configure=configure)
     checkpoint = None
@@ -362,6 +398,15 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
         checkpoint = SweepCheckpoint(
             checkpoint_path, parameter=parameter, values=values,
             schemes=schemes, n_runs=n_runs, seed=base_config.seed)
+    if workspace is not None:
+        refs = sorted({cell.scenario_ref for cell in plan.cells
+                       if cell.scenario_ref is not None})
+        workspace.register_run(
+            run_name or f"{parameter}-sweep",
+            parameter=parameter,
+            n_cells=len(plan.cells),
+            scenario_hashes=refs,
+            checkpoint=(None if checkpoint is None else checkpoint.path))
 
     if executor is None:
         executor = make_executor(jobs, cell_timeout=cell_timeout,

@@ -1,0 +1,287 @@
+"""Managed on-disk workspace for experiment runs.
+
+A :class:`FileWorkspace` gives every run a predictable home::
+
+    <root>/
+      index.json      -- run registry (atomic, human-readable)
+      scenarios/      -- content-addressed BuiltScenario artifacts
+      results/        -- figure result JSON files
+      checkpoints/    -- sweep checkpoints (resume state)
+      traces/         -- execution traces (--trace)
+      manifests/      -- run manifests (--manifest)
+
+Scenario artifacts are content-addressed by
+:func:`~repro.store.confighash.scenario_hash`, so concurrent writers of
+the same scenario produce identical bytes and the atomic rename makes
+the last one win harmlessly.  Every write in the workspace goes through
+:func:`repro.utils.fsio.atomic_write_text`, so an interrupted run never
+leaves a half-written index or artifact behind.
+
+The index maps run names to their files and the scenario hashes they
+used; :meth:`FileWorkspace.gc` reclaims scenario artifacts using it --
+an artifact is *protected* exactly when some registered run still has a
+live checkpoint that references it (resuming that checkpoint must not
+have to rebuild), and runs whose files have all vanished are pruned
+from the index.  The CLI surfaces this as ``repro workspace
+list|inspect|gc``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.logging import get_logger
+from repro.sim.build import BuiltScenario
+from repro.utils.errors import ConfigurationError
+from repro.utils.fsio import atomic_write_text
+
+logger = get_logger(__name__)
+
+#: Name of the JSON run registry at the workspace root.
+INDEX_NAME = "index.json"
+
+#: Schema version of the index file.
+INDEX_FORMAT_VERSION = 1
+
+#: Managed subdirectories, created eagerly so every path helper works.
+SUBDIRS = ("scenarios", "results", "checkpoints", "traces", "manifests")
+
+#: Index-entry fields accumulated as lists across repeated registrations
+#: (a figure run may save several result files into one entry).
+_MERGED_FIELDS = ("results", "scenario_hashes")
+
+
+class FileWorkspace:
+    """One managed experiment directory (layout in the module docstring)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        for sub in SUBDIRS:
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    def __repr__(self) -> str:
+        return f"FileWorkspace({str(self.root)!r})"
+
+    # ------------------------------------------------------------------
+    # Path helpers
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        """The run registry file."""
+        return self.root / INDEX_NAME
+
+    def scenario_path(self, ref: str) -> Path:
+        """Content-addressed artifact file of one scenario hash."""
+        return self.root / "scenarios" / f"{ref}.json"
+
+    def results_path(self, name: str) -> Path:
+        """A result file under ``results/``."""
+        return self.root / "results" / name
+
+    def checkpoint_path(self, name: str) -> Path:
+        """A sweep checkpoint under ``checkpoints/``."""
+        return self.root / "checkpoints" / name
+
+    def trace_path(self, name: str) -> Path:
+        """A trace file under ``traces/``."""
+        return self.root / "traces" / name
+
+    def manifest_path(self, name: str) -> Path:
+        """A manifest file under ``manifests/``."""
+        return self.root / "manifests" / name
+
+    def _relative(self, path: Union[str, Path]) -> str:
+        """Index representation of a path: relative when inside the root.
+
+        Outside-root paths are stored absolute: a relative form would be
+        cwd-dependent and :meth:`_resolve` would wrongly anchor it at the
+        workspace root.
+        """
+        path = Path(path)
+        try:
+            return str(path.resolve().relative_to(self.root.resolve()))
+        except ValueError:
+            return str(path.resolve())
+
+    def _resolve(self, recorded: str) -> Path:
+        """Inverse of :meth:`_relative`."""
+        path = Path(recorded)
+        return path if path.is_absolute() else self.root / path
+
+    # ------------------------------------------------------------------
+    # Scenario artifacts
+    # ------------------------------------------------------------------
+    def save_scenario(self, built: BuiltScenario) -> Path:
+        """Persist a built scenario under its hash; idempotent.
+
+        An existing file is left untouched: content addressing means it
+        already holds these exact bytes (same hash, same build).
+        """
+        if not built.scenario_hash:
+            raise ConfigurationError(
+                "cannot persist a BuiltScenario without a scenario_hash; "
+                "build it through the ScenarioStore")
+        path = self.scenario_path(built.scenario_hash)
+        if not path.exists():
+            atomic_write_text(
+                path, json.dumps(built.to_payload(), sort_keys=True))
+            logger.info("workspace: persisted scenario %s",
+                        built.scenario_hash[:12])
+        return path
+
+    def load_scenario(self, ref: str) -> Optional[BuiltScenario]:
+        """Load a persisted scenario, or ``None`` if absent/unreadable.
+
+        Unreadable means a truncated file or an incompatible format
+        version; both degrade to a cache miss (the store rebuilds and
+        rewrites), never to an error.
+        """
+        path = self.scenario_path(ref)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return BuiltScenario.from_payload(payload)
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
+            logger.warning("workspace: discarding unreadable scenario "
+                           "artifact %s (%s)", path.name, exc)
+            return None
+
+    def scenario_refs(self) -> List[str]:
+        """Hashes of every persisted scenario artifact, sorted."""
+        return sorted(path.stem
+                      for path in (self.root / "scenarios").glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # Run registry
+    # ------------------------------------------------------------------
+    def _read_index(self) -> dict:
+        try:
+            index = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return {"format_version": INDEX_FORMAT_VERSION, "runs": {}}
+        except ValueError:
+            logger.warning("workspace: index %s is unreadable; starting a "
+                           "fresh registry", self.index_path)
+            return {"format_version": INDEX_FORMAT_VERSION, "runs": {}}
+        index.setdefault("format_version", INDEX_FORMAT_VERSION)
+        index.setdefault("runs", {})
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        atomic_write_text(
+            self.index_path,
+            json.dumps(index, indent=2, sort_keys=True) + "\n")
+
+    def register_run(self, name: str, **fields: object) -> dict:
+        """Create or update the index entry for run ``name``.
+
+        ``None`` values are skipped; :data:`_MERGED_FIELDS` accumulate
+        (order-preserving, deduplicated) across calls; path-valued
+        fields are stored relative to the root when inside it.  Returns
+        the merged entry.
+        """
+        index = self._read_index()
+        entry = index["runs"].setdefault(name, {})
+        for key, value in fields.items():
+            if value is None:
+                continue
+            if key in _MERGED_FIELDS:
+                merged = list(entry.get(key, []))
+                items = value if isinstance(value, (list, tuple)) else [value]
+                for item in items:
+                    item = (self._relative(item) if key == "results"
+                            else str(item))
+                    if item not in merged:
+                        merged.append(item)
+                entry[key] = merged
+            elif key in ("checkpoint", "manifest", "trace"):
+                entry[key] = self._relative(value)
+            else:
+                entry[key] = value
+        self._write_index(index)
+        return entry
+
+    def entries(self) -> Dict[str, dict]:
+        """All registered runs, ``{name: entry}``."""
+        return self._read_index()["runs"]
+
+    def inspect(self, name: str) -> dict:
+        """One run's entry plus the on-disk status of every file it names.
+
+        Raises
+        ------
+        ConfigurationError
+            For an unknown run name (listing the known ones).
+        """
+        runs = self.entries()
+        if name not in runs:
+            known = ", ".join(sorted(runs)) or "<none>"
+            raise ConfigurationError(
+                f"unknown run {name!r} in workspace {self.root} "
+                f"(registered: {known})")
+        entry = runs[name]
+        files: Dict[str, bool] = {}
+        for key in ("checkpoint", "manifest", "trace"):
+            if key in entry:
+                files[entry[key]] = self._resolve(entry[key]).exists()
+        for recorded in entry.get("results", []):
+            files[recorded] = self._resolve(recorded).exists()
+        for ref in entry.get("scenario_hashes", []):
+            files[self._relative(self.scenario_path(ref))] = \
+                self.scenario_path(ref).exists()
+        return {"name": name, "entry": entry, "files": files}
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def gc(self, *, dry_run: bool = False) -> dict:
+        """Reclaim unreferenced scenario artifacts and stale run entries.
+
+        Protection rule: a scenario artifact survives exactly when some
+        registered run lists its hash *and* that run's checkpoint file
+        still exists -- a live checkpoint may be resumed, and the
+        resume should find its warmed build.  Run entries whose
+        checkpoint and results have all been deleted are pruned from
+        the index.  With ``dry_run`` nothing is deleted; the report
+        shows what would happen.
+        """
+        index = self._read_index()
+        protected = set()
+        pruned_runs: List[str] = []
+        for name in sorted(index["runs"]):
+            entry = index["runs"][name]
+            checkpoint = entry.get("checkpoint")
+            checkpoint_alive = (checkpoint is not None
+                                and self._resolve(checkpoint).exists())
+            results_alive = any(self._resolve(recorded).exists()
+                                for recorded in entry.get("results", []))
+            if checkpoint_alive:
+                protected.update(entry.get("scenario_hashes", []))
+            if not checkpoint_alive and not results_alive:
+                pruned_runs.append(name)
+        removed: List[str] = []
+        kept: List[str] = []
+        for ref in self.scenario_refs():
+            if ref in protected:
+                kept.append(ref)
+            else:
+                removed.append(ref)
+                if not dry_run:
+                    self.scenario_path(ref).unlink()
+        if not dry_run:
+            for name in pruned_runs:
+                del index["runs"][name]
+            self._write_index(index)
+        logger.info("workspace gc%s: %d scenario(s) removed, %d kept, "
+                    "%d run entr%s pruned",
+                    " (dry run)" if dry_run else "", len(removed), len(kept),
+                    len(pruned_runs), "y" if len(pruned_runs) == 1 else "ies")
+        return {
+            "dry_run": dry_run,
+            "removed_scenarios": removed,
+            "kept_scenarios": kept,
+            "pruned_runs": pruned_runs,
+        }

@@ -11,6 +11,7 @@ applied uniformly.
 from __future__ import annotations
 
 import os
+import tempfile
 from pathlib import Path
 from typing import Union
 
@@ -34,3 +35,35 @@ def fsync_dir(path: Union[str, Path]) -> None:
         pass
     finally:
         os.close(fd)
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> Path:
+    """Write ``text`` to ``path`` atomically and durably.
+
+    The full tmpfile -> fsync -> ``os.replace`` -> directory-fsync
+    discipline shared by every persistence surface (results, manifests,
+    workspace index, scenario artifacts): an interrupted or failed write
+    never corrupts an existing file -- either the old contents survive
+    intact or the new file is complete.  On any failure (including
+    ``KeyboardInterrupt`` mid-write) the temporary file is removed and
+    the destination is untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=path.parent or ".")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    # The rename is only durable once the directory entry itself is
+    # synced; without this a power loss can resurrect the old file.
+    fsync_dir(path.parent or ".")
+    return path

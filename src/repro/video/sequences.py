@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
+from repro.obs.metrics import global_registry, metrics_enabled
 from repro.utils.errors import ConfigurationError
 from repro.video.rd_model import MgsRateDistortion
 
@@ -103,6 +104,55 @@ SEQUENCE_LIBRARY: Dict[str, VideoSequence] = {
         rd=MgsRateDistortion(alpha_db=29.5, beta_db_per_mbps=27.0, max_rate_mbps=0.45),
     ),
 }
+
+
+#: Process-wide cache of per-slot R-D increment constants, keyed by
+#: ``(sequence, bandwidth, deadline)``.  The engine used to recompute
+#: ``beta * B / T`` for every user of every replication; a long sweep
+#: asks for the same handful of entries millions of times, so the table
+#: is built once per process and shared by every engine instance
+#: (including ``--jobs`` pool workers, each of which warms its own).
+_RD_SLOT_TABLE: Dict[Tuple[str, float, int], float] = {}
+
+#: Plain hit/miss counts (always maintained; the Prometheus counters
+#: below additionally export them when metrics collection is on).
+rd_table_hits = 0
+rd_table_misses = 0
+
+
+def rd_slot_increment(name: str, bandwidth_mbps: float,
+                      deadline_slots: int) -> float:
+    """Cached ``R = beta * B / T`` lookup (bit-identical to the direct call).
+
+    The cached value is exactly what
+    :meth:`~repro.video.rd_model.MgsRateDistortion.slot_increment`
+    returns for the same arguments -- the cache only avoids the repeated
+    lookup/validation/arithmetic, never changes the float.
+    """
+    global rd_table_hits, rd_table_misses
+    key = (name.lower(), float(bandwidth_mbps), int(deadline_slots))
+    cached = _RD_SLOT_TABLE.get(key)
+    hit = cached is not None
+    if hit:
+        rd_table_hits += 1
+    else:
+        rd_table_misses += 1
+        cached = get_sequence(name).rd.slot_increment(
+            bandwidth_mbps, deadline_slots)
+        _RD_SLOT_TABLE[key] = cached
+    if metrics_enabled():
+        global_registry().counter(
+            "repro_video_rd_table_requests_total",
+            result="hit" if hit else "miss").inc()
+    return cached
+
+
+def reset_rd_table() -> None:
+    """Clear the process-wide R-D table (tests only)."""
+    global rd_table_hits, rd_table_misses
+    _RD_SLOT_TABLE.clear()
+    rd_table_hits = 0
+    rd_table_misses = 0
 
 
 def get_sequence(name: str) -> VideoSequence:

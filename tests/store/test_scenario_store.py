@@ -1,0 +1,174 @@
+"""ScenarioStore behaviour: counters, disk tier, switches, fallbacks."""
+
+import pytest
+
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.obs.metrics import enable_metrics, reset_metrics, scoped_registry
+from repro.sim.build import build_scenario
+from repro.store.confighash import scenario_hash
+from repro.store.scenario_store import (
+    ENV_STORE,
+    ENV_WORKSPACE,
+    ScenarioStore,
+    activate_workspace,
+    built_for,
+    default_store,
+    reset_default_store,
+    run_scenario,
+    scenario_engine,
+    set_default_store,
+    store_enabled,
+    use_store,
+)
+from repro.store.workspace import FileWorkspace
+
+
+@pytest.fixture
+def config():
+    return single_fbs_scenario(n_gops=1, seed=20260807)
+
+
+@pytest.fixture(autouse=True)
+def isolated_default_store(monkeypatch):
+    """Each test gets a pristine process-global store and environment."""
+    monkeypatch.delenv(ENV_STORE, raising=False)
+    monkeypatch.delenv(ENV_WORKSPACE, raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+class TestStoreCounters:
+    def test_miss_then_hits(self, config):
+        store = ScenarioStore()
+        first = store.get_or_build(config)
+        second = store.get_or_build(config)
+        assert first is second
+        assert (store.misses, store.hits, store.disk_loads) == (1, 1, 0)
+        assert len(store) == 1
+        assert scenario_hash(config) in store
+
+    def test_schemes_and_seeds_share_one_build(self, config):
+        store = ScenarioStore()
+        store.get_or_build(config)
+        store.get_or_build(config.with_scheme("heuristic1"))
+        store.get_or_build(config.with_seed(99))
+        assert (store.misses, store.hits) == (1, 2)
+
+    def test_clear_drops_memory(self, config):
+        store = ScenarioStore()
+        store.get_or_build(config)
+        store.clear()
+        assert len(store) == 0
+        store.get_or_build(config)
+        assert store.misses == 2
+
+    def test_obs_counter_rides_the_registry(self, config):
+        enable_metrics(True)
+        try:
+            with scoped_registry() as registry:
+                store = ScenarioStore()
+                store.get_or_build(config)
+                store.get_or_build(config)
+                counters = registry.counters()
+        finally:
+            enable_metrics(False)
+            reset_metrics()
+        assert counters[
+            'repro_scenario_store_requests_total{result="miss"}'] == 1.0
+        assert counters[
+            'repro_scenario_store_requests_total{result="hit"}'] == 1.0
+
+
+class TestDiskTier:
+    def test_fresh_store_loads_from_workspace(self, config, tmp_path):
+        workspace = FileWorkspace(tmp_path / "ws")
+        warm = ScenarioStore(workspace=workspace)
+        built = warm.get_or_build(config)
+        assert workspace.scenario_path(built.scenario_hash).exists()
+
+        cold = ScenarioStore(workspace=workspace)
+        loaded = cold.get_or_build(config)
+        assert (cold.misses, cold.disk_loads) == (0, 1)
+        # Disk round-trip is exact (JSON float64 shortest-repr).
+        assert loaded.to_payload() == built.to_payload()
+        # ...and the load lands in memory: next lookup is a pure hit.
+        cold.get_or_build(config)
+        assert cold.hits == 1
+
+    def test_corrupt_artifact_degrades_to_miss(self, config, tmp_path):
+        workspace = FileWorkspace(tmp_path / "ws")
+        ref = scenario_hash(config)
+        workspace.scenario_path(ref).write_text("{not json")
+        store = ScenarioStore(workspace=workspace)
+        built = store.get_or_build(config)
+        assert store.misses == 1
+        assert built.scenario_hash == ref
+
+
+class TestSwitchesAndDefaults:
+    def test_built_for_returns_artifact_by_default(self, config):
+        built = built_for(config)
+        assert built is not None
+        assert built.scenario_hash == scenario_hash(config)
+
+    def test_use_store_scopes_the_switch(self, config):
+        assert store_enabled()
+        with use_store(False):
+            assert not store_enabled()
+            assert built_for(config) is None
+        assert store_enabled()
+
+    def test_env_disables_the_store(self, config, monkeypatch):
+        monkeypatch.setenv(ENV_STORE, "0")
+        assert not store_enabled()
+        assert built_for(config) is None
+
+    def test_default_store_attaches_env_workspace(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_WORKSPACE, str(tmp_path / "ws"))
+        reset_default_store()
+        store = default_store()
+        assert isinstance(store.workspace, FileWorkspace)
+        assert store.workspace.root == tmp_path / "ws"
+
+    def test_activate_workspace_exports_env(self, tmp_path, monkeypatch):
+        import os
+        workspace = activate_workspace(tmp_path / "ws")
+        assert isinstance(workspace, FileWorkspace)
+        assert os.environ[ENV_WORKSPACE] == str(workspace.root)
+        assert default_store().workspace is workspace
+
+    def test_set_default_store_round_trip(self):
+        replacement = ScenarioStore()
+        set_default_store(replacement)
+        assert default_store() is replacement
+
+    def test_unhashable_config_builds_inline(self, config):
+        class Opaque:  # no nodes/edges, not a dataclass: unhashable
+            pass
+
+        weird = config.replace(topology=config.topology)
+        object.__setattr__(weird, "topology", Opaque())
+        assert built_for(weird) is None
+
+
+class TestSplitEntryPoints:
+    def test_run_scenario_matches_direct_engine(self, config):
+        from repro.sim.engine import SimulationEngine
+        direct = SimulationEngine(config).run()
+        split = run_scenario(config)
+        assert split.per_user_psnr == direct.per_user_psnr
+        assert split.mean_psnr == direct.mean_psnr
+
+    def test_scenario_engine_accepts_explicit_build(self, config):
+        built = build_scenario(config)
+        engine = scenario_engine(config, built=built)
+        metrics = engine.run()
+        assert metrics.per_user_psnr
+
+    def test_scenario_engine_uses_explicit_store(self, config):
+        store = ScenarioStore()
+        scenario_engine(config, store=store)
+        assert store.misses == 1
+        scenario_engine(config, store=store)
+        assert store.hits == 1

@@ -1,0 +1,108 @@
+"""Differential contract: the store never changes a single result byte.
+
+Runs the same small sweep with the scenario store on and off, serially
+and with a 2-worker pool, and asserts the serialised results and the
+checkpoint files are byte-identical.  A warmed workspace must also skip
+rebuilding (disk loads observed, zero misses) while still reproducing
+the cold results exactly.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.results_io import sweep_to_dict
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.sim.runner import sweep
+from repro.store.scenario_store import (
+    ENV_STORE,
+    ENV_WORKSPACE,
+    default_store,
+    reset_default_store,
+)
+
+SWEEP_VALUES = (4, 6)
+SWEEP_SCHEMES = ("proposed-fast", "heuristic1")
+N_RUNS = 2
+
+
+@pytest.fixture(autouse=True)
+def isolated_store(monkeypatch):
+    monkeypatch.delenv(ENV_STORE, raising=False)
+    monkeypatch.delenv(ENV_WORKSPACE, raising=False)
+    reset_default_store()
+    yield
+    reset_default_store()
+
+
+def run_sweep(tmp_path, tag, *, jobs=1, workspace=None):
+    config = single_fbs_scenario(n_gops=1, seed=20260807)
+    checkpoint = tmp_path / f"{tag}.jsonl"
+    result = sweep(config, "n_channels", list(SWEEP_VALUES),
+                   list(SWEEP_SCHEMES), n_runs=N_RUNS, jobs=jobs,
+                   checkpoint_path=str(checkpoint), workspace=workspace,
+                   run_name=tag if workspace is not None else None)
+    serialised = json.dumps(sweep_to_dict(result), sort_keys=True)
+    return serialised, checkpoint.read_bytes()
+
+
+def _canonical_checkpoint(raw):
+    """Checkpoint bytes, line-order-insensitive.
+
+    Cells are appended in *completion* order, which at ``--jobs 2`` is
+    scheduling-dependent even between two identical store-on runs; each
+    cell's record must still be byte-identical store on vs off.
+    """
+    return sorted(raw.splitlines())
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_results_identical_store_on_vs_off(tmp_path, monkeypatch, jobs):
+    on_json, on_checkpoint = run_sweep(tmp_path, f"on-{jobs}", jobs=jobs)
+    # The env switch (not use_store) so --jobs pool workers see it too.
+    monkeypatch.setenv(ENV_STORE, "0")
+    reset_default_store()
+    off_json, off_checkpoint = run_sweep(tmp_path, f"off-{jobs}", jobs=jobs)
+    assert on_json == off_json
+    if jobs == 1:
+        assert on_checkpoint == off_checkpoint
+    else:
+        assert (_canonical_checkpoint(on_checkpoint)
+                == _canonical_checkpoint(off_checkpoint))
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_warmed_workspace_skips_rebuild(tmp_path, jobs):
+    from repro.store.workspace import FileWorkspace
+    cold_json, _ = run_sweep(tmp_path, f"cold-{jobs}", jobs=jobs,
+                             workspace=tmp_path / "ws")
+    # The cold run persisted one artifact per sweep point (built in the
+    # parent at jobs=1, in pool workers at jobs=2).
+    persisted = FileWorkspace(tmp_path / "ws").scenario_refs()
+    assert len(persisted) == len(SWEEP_VALUES)
+
+    # A fresh process-global store against the same workspace: every
+    # build must come from disk (or memory after the first load) --
+    # never be recomputed.
+    reset_default_store()
+    warm_json, _ = run_sweep(tmp_path, f"warm-{jobs}", jobs=jobs,
+                             workspace=tmp_path / "ws")
+    warm_store = default_store()
+    assert warm_json == cold_json
+    if jobs == 1:
+        assert warm_store.misses == 0
+        assert warm_store.disk_loads == len(SWEEP_VALUES)
+        assert warm_store.hits > 0
+
+
+def test_campaign_runner_identical_store_on_vs_off(monkeypatch):
+    from repro.sim.runner import MonteCarloRunner
+    config = single_fbs_scenario(n_gops=1, seed=20260807)
+    with_store = MonteCarloRunner(config, n_runs=2).run_all()
+    monkeypatch.setenv(ENV_STORE, "0")
+    reset_default_store()
+    without = MonteCarloRunner(config, n_runs=2).run_all()
+    for a, b in zip(with_store, without):
+        assert a.per_user_psnr == b.per_user_psnr
+        assert a.mean_psnr == b.mean_psnr
+        assert list(a.collision_rates) == list(b.collision_rates)

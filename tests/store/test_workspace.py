@@ -1,0 +1,159 @@
+"""FileWorkspace: layout, run registry, inspect, and gc protection."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import single_fbs_scenario
+from repro.sim.build import build_scenario
+from repro.store.confighash import scenario_hash
+from repro.store.workspace import SUBDIRS, FileWorkspace
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return FileWorkspace(tmp_path / "ws")
+
+
+@pytest.fixture
+def built():
+    config = single_fbs_scenario(n_gops=1, seed=20260807)
+    return build_scenario(config, scenario_hash=scenario_hash(config))
+
+
+class TestLayout:
+    def test_subdirectories_created_eagerly(self, workspace):
+        for sub in SUBDIRS:
+            assert (workspace.root / sub).is_dir()
+
+    def test_path_helpers_land_in_their_directories(self, workspace):
+        assert workspace.results_path("a.json").parent.name == "results"
+        assert workspace.checkpoint_path("a.jsonl").parent.name == "checkpoints"
+        assert workspace.trace_path("a.jsonl").parent.name == "traces"
+        assert workspace.manifest_path("a.json").parent.name == "manifests"
+        assert workspace.scenario_path("abc").name == "abc.json"
+
+
+class TestScenarioArtifacts:
+    def test_save_load_round_trip(self, workspace, built):
+        workspace.save_scenario(built)
+        loaded = workspace.load_scenario(built.scenario_hash)
+        assert loaded.to_payload() == built.to_payload()
+        assert workspace.scenario_refs() == [built.scenario_hash]
+
+    def test_save_is_idempotent(self, workspace, built):
+        path = workspace.save_scenario(built)
+        before = path.stat().st_mtime_ns
+        workspace.save_scenario(built)
+        assert path.stat().st_mtime_ns == before
+
+    def test_save_requires_a_hash(self, workspace, built):
+        import dataclasses
+        unhashed = dataclasses.replace(built, scenario_hash="")
+        with pytest.raises(ConfigurationError):
+            workspace.save_scenario(unhashed)
+
+    def test_load_missing_returns_none(self, workspace):
+        assert workspace.load_scenario("no-such-hash") is None
+
+    def test_load_corrupt_returns_none(self, workspace, built):
+        workspace.scenario_path("bad").write_text("{truncated")
+        assert workspace.load_scenario("bad") is None
+        wrong_version = dict(built.to_payload(), format_version=999)
+        workspace.scenario_path("v999").write_text(json.dumps(wrong_version))
+        assert workspace.load_scenario("v999") is None
+
+
+class TestRunRegistry:
+    def test_register_and_merge(self, workspace):
+        workspace.register_run("fig4b", parameter="n_channels",
+                               scenario_hashes=["aa", "bb"],
+                               checkpoint=workspace.checkpoint_path("c.jsonl"))
+        entry = workspace.register_run(
+            "fig4b", scenario_hashes=["bb", "cc"],
+            results=[workspace.results_path("fig4b.json")], skipped=None)
+        assert entry["parameter"] == "n_channels"
+        assert entry["scenario_hashes"] == ["aa", "bb", "cc"]
+        assert entry["results"] == ["results/fig4b.json"]
+        assert entry["checkpoint"] == "checkpoints/c.jsonl"
+        assert "skipped" not in entry
+
+    def test_paths_outside_root_stay_absolute(self, workspace, tmp_path):
+        elsewhere = tmp_path / "elsewhere.json"
+        entry = workspace.register_run("run", results=[elsewhere])
+        assert entry["results"] == [str(elsewhere)]
+
+    def test_index_survives_corruption(self, workspace):
+        workspace.register_run("run", parameter="p")
+        workspace.index_path.write_text("{broken")
+        assert workspace.entries() == {}
+
+    def test_inspect_reports_file_liveness(self, workspace, built):
+        workspace.save_scenario(built)
+        checkpoint = workspace.checkpoint_path("run.jsonl")
+        checkpoint.write_text("{}\n")
+        workspace.register_run("run", checkpoint=checkpoint,
+                               scenario_hashes=[built.scenario_hash],
+                               results=[workspace.results_path("gone.json")])
+        report = workspace.inspect("run")
+        files = report["files"]
+        assert files["checkpoints/run.jsonl"] is True
+        assert files["results/gone.json"] is False
+        assert files[f"scenarios/{built.scenario_hash}.json"] is True
+
+    def test_inspect_unknown_run_raises(self, workspace):
+        workspace.register_run("known", parameter="p")
+        with pytest.raises(ConfigurationError, match="known"):
+            workspace.inspect("unknown")
+
+
+class TestGc:
+    def test_live_checkpoint_protects_scenarios(self, workspace, built):
+        workspace.save_scenario(built)
+        checkpoint = workspace.checkpoint_path("run.jsonl")
+        checkpoint.write_text("{}\n")
+        workspace.register_run("run", checkpoint=checkpoint,
+                               scenario_hashes=[built.scenario_hash])
+        report = workspace.gc()
+        assert report["removed_scenarios"] == []
+        assert report["kept_scenarios"] == [built.scenario_hash]
+        assert workspace.scenario_path(built.scenario_hash).exists()
+
+    def test_dead_checkpoint_frees_scenarios(self, workspace, built):
+        workspace.save_scenario(built)
+        checkpoint = workspace.checkpoint_path("run.jsonl")
+        checkpoint.write_text("{}\n")
+        results = workspace.results_path("run.json")
+        results.write_text("{}\n")
+        workspace.register_run("run", checkpoint=checkpoint, results=[results],
+                               scenario_hashes=[built.scenario_hash])
+        checkpoint.unlink()
+        report = workspace.gc()
+        assert report["removed_scenarios"] == [built.scenario_hash]
+        assert not workspace.scenario_path(built.scenario_hash).exists()
+        # Results still live: the run entry survives.
+        assert "run" in workspace.entries()
+
+    def test_fully_dead_run_is_pruned(self, workspace):
+        workspace.register_run(
+            "stale", checkpoint=workspace.checkpoint_path("gone.jsonl"),
+            results=[workspace.results_path("gone.json")])
+        report = workspace.gc()
+        assert report["pruned_runs"] == ["stale"]
+        assert workspace.entries() == {}
+
+    def test_dry_run_deletes_nothing(self, workspace, built):
+        workspace.save_scenario(built)
+        workspace.register_run(
+            "stale", checkpoint=workspace.checkpoint_path("gone.jsonl"))
+        report = workspace.gc(dry_run=True)
+        assert report["dry_run"] is True
+        assert report["removed_scenarios"] == [built.scenario_hash]
+        assert workspace.scenario_path(built.scenario_hash).exists()
+        assert "stale" in workspace.entries()
+
+    def test_unregistered_scenarios_are_collected(self, workspace, built):
+        workspace.save_scenario(built)
+        report = workspace.gc()
+        assert report["removed_scenarios"] == [built.scenario_hash]

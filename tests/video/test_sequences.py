@@ -59,3 +59,58 @@ class TestVideoSequenceValidation:
     def test_invalid_resolution(self):
         with pytest.raises(ConfigurationError):
             VideoSequence("x", (0, 288), 30.0, 16, MgsRateDistortion(30, 30))
+
+
+class TestRdSlotTable:
+    """The process-wide R-D increment cache (DESIGN.md section 14)."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_table(self):
+        from repro.video.sequences import reset_rd_table
+        reset_rd_table()
+        yield
+        reset_rd_table()
+
+    def test_cached_value_is_bit_identical(self):
+        from repro.video.sequences import rd_slot_increment
+        direct = get_sequence("bus").rd.slot_increment(0.6, 16)
+        assert rd_slot_increment("bus", 0.6, 16) == direct  # miss
+        assert rd_slot_increment("bus", 0.6, 16) == direct  # hit
+
+    def test_hit_miss_counters(self):
+        from repro.video import sequences
+        sequences.rd_slot_increment("bus", 0.6, 16)
+        sequences.rd_slot_increment("Bus", 0.6, 16)  # case-folded key
+        sequences.rd_slot_increment("bus", 0.7, 16)
+        assert sequences.rd_table_misses == 2
+        assert sequences.rd_table_hits == 1
+
+    def test_obs_counter_when_metrics_enabled(self):
+        from repro.obs.metrics import (
+            enable_metrics,
+            reset_metrics,
+            scoped_registry,
+        )
+        from repro.video.sequences import rd_slot_increment
+        enable_metrics(True)
+        try:
+            with scoped_registry() as registry:
+                rd_slot_increment("mobile", 0.6, 16)
+                rd_slot_increment("mobile", 0.6, 16)
+                counters = registry.counters()
+        finally:
+            enable_metrics(False)
+            reset_metrics()
+        assert counters[
+            'repro_video_rd_table_requests_total{result="miss"}'] == 1.0
+        assert counters[
+            'repro_video_rd_table_requests_total{result="hit"}'] == 1.0
+
+    def test_reset_clears_table_and_counters(self):
+        from repro.video import sequences
+        sequences.rd_slot_increment("bus", 0.6, 16)
+        sequences.reset_rd_table()
+        assert sequences.rd_table_hits == 0
+        assert sequences.rd_table_misses == 0
+        sequences.rd_slot_increment("bus", 0.6, 16)
+        assert sequences.rd_table_misses == 1
