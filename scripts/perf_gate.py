@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Gate the committed benchmark trajectories against regressions.
+
+The ``BENCH_*.json`` files at the repository root are append-only
+histories: every benchmark run adds one entry, so consecutive entries of
+the same benchmark form a performance trajectory.  This script compares
+the latest entry of each benchmark against the previous one and fails
+when a speedup-like metric fell by more than the noise tolerance (or an
+overhead-like metric grew by more than its tolerance).  It needs nothing
+beyond the standard library, so CI can run it before installing the
+simulation dependencies.
+
+Metric classification is by name:
+
+* higher-is-better -- any key containing ``speedup`` (``speedup``,
+  ``alloc_speedup``, ``cached_speedup``, ``disk_speedup_floor0``, ...);
+* lower-is-better -- any key containing ``overhead``
+  (``tracing_overhead_pct``).
+
+Keys present only in the latest entry are new metrics (first recording,
+nothing to gate against); keys present only in the previous entry were
+renamed or retired and are reported but not gated.  Both situations are
+expected when a benchmark evolves -- e.g. ``disk_speedup`` giving way to
+``disk_speedup_floor0``, or the ``allocation-batched`` benchmark landing
+with its first ``alloc_speedup`` sample.
+"""
+
+import glob
+import json
+import os
+import sys
+
+#: Absolute drop (in "x" units) a speedup may show before the gate
+#: trips.  CI runners are noisy shared machines; trajectory entries are
+#: single measurements, not medians, so sub-0.3x wobble is routine.
+SPEEDUP_TOLERANCE = 0.3
+
+#: Absolute growth (in percentage points) an overhead metric may show.
+OVERHEAD_TOLERANCE_PCT = 5.0
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def classify(key):
+    """'up' for higher-is-better, 'down' for lower-is-better, else None."""
+    if "speedup" in key:
+        return "up"
+    if "overhead" in key:
+        return "down"
+    return None
+
+
+def load_trajectories(paths):
+    """``{benchmark name: [entries in recorded order]}`` across files."""
+    trajectories = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            entries = json.load(handle)
+        if not isinstance(entries, list):
+            raise SystemExit(f"{path}: expected a JSON list of entries")
+        for entry in entries:
+            name = entry.get("benchmark")
+            if not name:
+                raise SystemExit(f"{path}: entry without a 'benchmark' key")
+            trajectories.setdefault(name, []).append(entry)
+    return trajectories
+
+
+def gate(trajectories):
+    """Return (failures, report lines) over every benchmark trajectory."""
+    failures = []
+    report = []
+    for name in sorted(trajectories):
+        entries = trajectories[name]
+        latest = entries[-1]
+        metrics = [k for k in latest if classify(k)]
+        if len(entries) < 2:
+            report.append(f"{name}: first recording "
+                          f"({', '.join(sorted(metrics)) or 'no metrics'}) "
+                          f"-- nothing to gate")
+            continue
+        previous = entries[-2]
+        for key in sorted(set(metrics) | {k for k in previous
+                                          if classify(k)}):
+            direction = classify(key)
+            if key not in previous:
+                report.append(f"{name}: {key}={latest[key]} is new "
+                              f"-- nothing to gate")
+                continue
+            if key not in latest:
+                report.append(f"{name}: {key} retired "
+                              f"(was {previous[key]})")
+                continue
+            old, new = float(previous[key]), float(latest[key])
+            if direction == "up":
+                floor = old - SPEEDUP_TOLERANCE
+                ok = new >= floor
+                line = (f"{name}: {key} {old} -> {new} "
+                        f"(floor {floor:.2f})")
+            else:
+                ceiling = old + OVERHEAD_TOLERANCE_PCT
+                ok = new <= ceiling
+                line = (f"{name}: {key} {old} -> {new} "
+                        f"(ceiling {ceiling:.2f})")
+            report.append(line + ("" if ok else "  ** REGRESSION **"))
+            if not ok:
+                failures.append(line)
+    return failures, report
+
+
+def main(argv):
+    paths = argv or sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not paths:
+        raise SystemExit("no BENCH_*.json trajectories found")
+    failures, report = gate(load_trajectories(paths))
+    for line in report:
+        print(line)
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} regression(s)",
+              file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.core.batch import SolveRequest, fast_solve_iter, fast_solve_warm_iter
 from repro.core.dual import DualDecompositionSolver, fast_solve, fast_solve_warm
 from repro.core.heuristics import EqualAllocationHeuristic, MultiuserDiversityHeuristic
 from repro.core.problem import Allocation, SlotProblem
@@ -62,6 +63,38 @@ class ProposedAllocator:
         solution = self._solver.solve(
             problem,
             initial_multipliers=dict(self._warm) or None if self.warm_start else None)
+        if self.warm_start:
+            self._warm.clear()
+            self._warm.update(solution.multipliers)
+        return solution.allocation
+
+    def allocate_iter(self, problem: SlotProblem):
+        """Generator form of :meth:`allocate` for the lockstep driver.
+
+        Yields the slot solve as a :class:`~repro.core.batch.SolveRequest`
+        and returns the :class:`~repro.core.problem.Allocation`.  Strict
+        and trace-recording solvers fall back to the inline scalar call
+        -- they need the solver instance's own bookkeeping (raising
+        :class:`~repro.utils.errors.ConvergenceError`, multiplier
+        traces), which a batched answer does not carry.
+        """
+        if self.fast:
+            if self.warm_start:
+                result = yield from fast_solve_warm_iter(problem, self._warm)
+            else:
+                result = yield from fast_solve_iter(problem)
+            return result
+        solver = self._solver
+        if solver.strict or solver.record_trace:
+            return self.allocate(problem)
+        solution = yield SolveRequest(
+            problem=problem,
+            max_iterations=solver.max_iterations,
+            step_size=solver.step_size,
+            threshold=solver.threshold,
+            decay_after=solver.decay_after,
+            initial_multipliers=(dict(self._warm) or None
+                                 if self.warm_start else None))
         if self.warm_start:
             self._warm.clear()
             self._warm.update(solution.multipliers)

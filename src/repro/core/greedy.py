@@ -31,8 +31,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.core.batch import SolveRequest, drive, fast_solve_iter
 from repro.core.bounds import GreedyStep, GreedyTrace
-from repro.core.dual import DualDecompositionSolver, fast_solve
+from repro.core.dual import fast_solve
 from repro.core.problem import Allocation, SlotProblem
 from repro.obs.metrics import global_registry, metrics_enabled
 from repro.utils.errors import ConfigurationError
@@ -147,6 +148,23 @@ class GreedyChannelAllocator:
             If an available channel has no posterior, or an FBS with users
             is missing from the interference graph.
         """
+        return drive(self.allocate_iter(problem, available_channels,
+                                        posteriors, final_solve=final_solve))
+
+    def allocate_iter(self, problem: SlotProblem,
+                      available_channels: Sequence[int],
+                      posteriors: Dict[int, float], *,
+                      final_solve: bool = True):
+        """Generator form of :meth:`allocate`.
+
+        Yields one :class:`~repro.core.batch.SolveRequest` per inner
+        ``Q(c)`` solve (and the final solve), returning the
+        :class:`GreedyResult`.  The evaluations within one slot are
+        inherently sequential -- each solve warm-starts from the
+        previous one's multipliers, and the memo key includes that warm
+        state -- so batching happens *across* engines driving this
+        generator in lockstep, never across candidates.
+        """
         fbs_ids = problem.fbs_ids
         missing_nodes = [i for i in fbs_ids if i not in self.graph]
         if missing_nodes:
@@ -190,12 +208,12 @@ class GreedyChannelAllocator:
                 if self.memoize:
                     memo[key] = objective
                 return objective
+                yield  # unreachable: gives q_of the generator protocol
         else:
             # Default evaluation path: a capped subgradient run per Q(c),
             # warm-started from the previous evaluation's multipliers --
             # consecutive candidate allocations differ by one channel, so
             # the dual variables barely move between evaluations.
-            eval_dual = DualDecompositionSolver(max_iterations=self.eval_iterations)
             warm = self._persistent_warm if self.warm_start else {}
 
             def q_of(alloc: Dict[int, Set[int]]) -> float:
@@ -212,9 +230,10 @@ class GreedyChannelAllocator:
                         # warm state so subsequent solves are unchanged.
                         warm.update(multipliers)
                         return objective
-                solution = eval_dual.solve(
-                    problem.with_expected_channels(g),
-                    initial_multipliers=warm or None)
+                solution = yield SolveRequest(
+                    problem=problem.with_expected_channels(g),
+                    max_iterations=self.eval_iterations,
+                    initial_multipliers=dict(warm) or None)
                 evaluations += 1
                 if self.memoize:
                     memo[key] = (solution.allocation.objective,
@@ -222,13 +241,13 @@ class GreedyChannelAllocator:
                 warm.update(solution.multipliers)
                 return solution.allocation.objective
 
-        q_empty = q_of(allocation_map)
+        q_empty = yield from q_of(allocation_map)
         q_current = q_empty
 
-        def q_with(pair: Tuple[int, int]) -> float:
+        def q_with(pair: Tuple[int, int]):
             trial = {k: set(v) for k, v in allocation_map.items()}
             trial[pair[0]].add(pair[1])
-            return q_of(trial)
+            return (yield from q_of(trial))
 
         while candidates:
             scan = (candidates if self.exhaustive_scan
@@ -237,7 +256,7 @@ class GreedyChannelAllocator:
             best_pair = None
             best_q = None
             for pair in sorted(scan):
-                q_trial = q_with(pair)
+                q_trial = yield from q_with(pair)
                 step_evals[pair] = q_trial
                 if best_q is None or q_trial > best_q:
                     best_q = q_trial
@@ -262,7 +281,7 @@ class GreedyChannelAllocator:
             for pair in pruned:
                 q_pair = step_evals.get(pair)
                 if q_pair is None:
-                    q_pair = q_with(pair)
+                    q_pair = yield from q_with(pair)
                 conflict_gain_sum += min(max(0.0, q_pair - q_current), gain)
             allocation_map[i_star].add(m_star)
             q_current = max(q_current, best_q)
@@ -277,8 +296,12 @@ class GreedyChannelAllocator:
         expected = g_of(allocation_map)
         final_allocation = None
         if final_solve:
-            final_solver = self.solver if self.solver is not None else fast_solve
-            final_allocation = final_solver(problem.with_expected_channels(expected))
+            if self.solver is not None:
+                final_allocation = self.solver(
+                    problem.with_expected_channels(expected))
+            else:
+                final_allocation = yield from fast_solve_iter(
+                    problem.with_expected_channels(expected))
         trace = GreedyTrace(steps=tuple(steps), q_empty=q_empty, q_final=q_current)
         if metrics_enabled():
             registry = global_registry()

@@ -75,6 +75,9 @@ def _execute_cell(cell: Cell) -> Tuple[str, Union[RunMetrics, FailedRun], float]
     Module-level so process-pool workers can resolve it by qualified
     name under any multiprocessing start method.
     """
+    from repro.core import caches
+
+    caches.scope_to(cell.scenario_ref or ("config", id(cell.config)))
     start = time.perf_counter()
     # Resolved through the module so test-time interception of
     # repro.sim.runner.execute_run keeps working under every executor.
@@ -83,10 +86,57 @@ def _execute_cell(cell: Cell) -> Tuple[str, Union[RunMetrics, FailedRun], float]
     return cell.key, result, time.perf_counter() - start
 
 
+#: Unpatched originals, captured at import: lockstep batching bypasses
+#: these seams (it runs real engines directly), so it must stand down
+#: whenever a test has monkeypatched either one.
+_EXECUTE_RUN_BASELINE = _runner.execute_run
+_EXECUTE_CELL_BASELINE = _execute_cell
+
+
+def _interception_active() -> bool:
+    """Whether a test double has replaced an execution seam."""
+    return (_runner.execute_run is not _EXECUTE_RUN_BASELINE
+            or _execute_cell is not _EXECUTE_CELL_BASELINE)
+
+
+def _lockstep_group(group: Sequence[Cell]) -> bool:
+    """Whether a planned group should run through the lockstep driver."""
+    from repro.sim import lockstep
+
+    return (len(group) >= 2 and lockstep.lockstep_eligible()
+            and not _interception_active())
+
+
+def _run_cells(cells: Sequence[Cell]
+               ) -> List[Tuple[str, Union[RunMetrics, FailedRun], float]]:
+    """Execute cells, batching consecutive same-scenario replications.
+
+    The shared body of the worker chunk entry point and the serial
+    executor: consecutive cells that are replications of one derived
+    config run in lockstep through the stacked allocation kernel
+    (:mod:`repro.sim.lockstep`); everything else takes the per-cell
+    path.  Results are ``(key, result, seconds)`` in cell order either
+    way.
+    """
+    from repro.core import caches
+    from repro.sim import lockstep
+
+    out: List[Tuple[str, Union[RunMetrics, FailedRun], float]] = []
+    for group in lockstep.plan_batch_groups(cells):
+        if _lockstep_group(group):
+            caches.scope_to(group[0].scenario_ref
+                            or ("config", id(group[0].config)))
+            out.extend(lockstep.run_cells_lockstep(group,
+                                                   fallback=_execute_cell))
+        else:
+            out.extend(_execute_cell(cell) for cell in group)
+    return out
+
+
 def _run_chunk(chunk: Sequence[Cell]
                ) -> List[Tuple[str, Union[RunMetrics, FailedRun], float]]:
     """Worker entry point: execute a chunk of cells back-to-back."""
-    return [_execute_cell(cell) for cell in chunk]
+    return _run_cells(chunk)
 
 
 class Executor(ABC):
@@ -110,14 +160,31 @@ class SerialExecutor(Executor):
 
     def run(self, cells: Sequence[Cell]) -> Iterator[CellOutcome]:
         from repro.exec.supervisor import shutdown_draining
+        from repro.sim import lockstep
 
-        for cell in cells:
+        for group in lockstep.plan_batch_groups(cells):
             if shutdown_draining():
                 logger.warning("shutdown requested; serial executor stopping "
-                               "before cell %s", cell.key)
+                               "before cell %s", group[0].key)
                 return
-            _, result, seconds = _execute_cell(cell)
-            yield CellOutcome(cell=cell, result=result, seconds=seconds)
+            if _lockstep_group(group):
+                by_key = {cell.key: cell for cell in group}
+                from repro.core import caches
+
+                caches.scope_to(group[0].scenario_ref
+                                or ("config", id(group[0].config)))
+                for key, result, seconds in lockstep.run_cells_lockstep(
+                        group, fallback=_execute_cell):
+                    yield CellOutcome(cell=by_key[key], result=result,
+                                      seconds=seconds)
+                continue
+            for cell in group:
+                if shutdown_draining():
+                    logger.warning("shutdown requested; serial executor "
+                                   "stopping before cell %s", cell.key)
+                    return
+                _, result, seconds = _execute_cell(cell)
+                yield CellOutcome(cell=cell, result=result, seconds=seconds)
 
 
 class ParallelExecutor(Executor):

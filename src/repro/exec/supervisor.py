@@ -251,6 +251,15 @@ class ShutdownCoordinator:
                     "repro_shutdown_signals_total", stage="abort").inc()
         except Exception:  # pragma: no cover
             pass
+        try:
+            # The tracer buffers lines between replication boundaries;
+            # drain it first so the trace reads up to the abort instant
+            # even when no obs flusher was registered.
+            tracer = active_tracer()
+            if tracer is not None:
+                tracer.flush()
+        except Exception:  # pragma: no cover - the exit must proceed
+            pass
         for flusher in list(self._flushers):
             try:
                 flusher()

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.core.accel import acceleration_enabled
 from repro.core.allocator import get_allocator
-from repro.core.dual import fast_solve, fast_solve_warm
+from repro.core.batch import drive, fast_solve_iter, fast_solve_warm_iter
 from repro.core.bounds import GreedyTrace, tighter_upper_bound
 from repro.core.greedy import GreedyChannelAllocator
 from repro.core.heuristics import EqualAllocationHeuristic
@@ -477,6 +477,20 @@ class SimulationEngine:
 
     def _step(self, tracer) -> SlotRecord:
         """The slot body; ``tracer`` (or None) receives phase spans."""
+        return drive(self._step_iter(tracer))
+
+    def _step_iter(self, tracer):
+        """Generator form of the slot body (lockstep batching).
+
+        Every dual solve of the allocation phase -- the greedy's Q(c)
+        evaluations, the eq. (23) relaxation bound, the fallback chain's
+        scheme solve -- is yielded as a
+        :class:`~repro.core.batch.SolveRequest`; everything else
+        (sensing, access, transmission) runs inline.  Driven either
+        sequentially by :func:`~repro.core.batch.drive` (exact scalar
+        execution) or in lockstep with sibling replications by
+        :mod:`repro.sim.lockstep`.
+        """
         config = self.config
         fault_plan = config.fault_plan
         if fault_plan is not None:
@@ -547,7 +561,7 @@ class SimulationEngine:
             # The time-share allocation at the final c is recomputed by
             # the fallback chain below, so skip the greedy's own final
             # solve (final_solve=False) -- one fewer full solve per slot.
-            greedy_result = self._greedy.allocate(
+            greedy_result = yield from self._greedy.allocate_iter(
                 problem, available, posterior_map, final_solve=False)
             channel_map = greedy_result.channel_allocation
             expected = greedy_result.expected_channels
@@ -560,8 +574,11 @@ class SimulationEngine:
             # allocation).  Take the tighter of the two.
             relaxed_problem = problem.with_expected_channels(
                 {i: access.expected_available for i in fbs_ids})
-            relaxed = (fast_solve_warm(relaxed_problem, self._relaxed_warm)
-                       if config.warm_start else fast_solve(relaxed_problem))
+            if config.warm_start:
+                relaxed = yield from fast_solve_warm_iter(
+                    relaxed_problem, self._relaxed_warm)
+            else:
+                relaxed = yield from fast_solve_iter(relaxed_problem)
             bound_q = min(tighter_upper_bound(greedy_trace), relaxed.objective)
             bound_gap = max(0.0, bound_q - greedy_trace.q_final)
         else:
@@ -571,7 +588,7 @@ class SimulationEngine:
             problem = self.build_slot_problem(expected, csi)
         inject = (fault_plan is not None
                   and fault_plan.forces_nonconvergence(self._slot))
-        allocation, degradations = self._fallback_chain.allocate(
+        allocation, degradations = yield from self._fallback_chain.allocate_iter(
             problem, slot=self._slot, inject_nonconvergence=inject)
         self.degradations.extend(degradations)
         tick = self._mark_phase("allocation", tick, tracer)
@@ -646,6 +663,15 @@ class SimulationEngine:
         """Simulate the configured horizon and return aggregate metrics."""
         for _ in range(self.config.n_slots):
             self.step()
+        return self.collect_metrics()
+
+    def collect_metrics(self) -> RunMetrics:
+        """Aggregate the simulated slots into :class:`RunMetrics`.
+
+        Split out of :meth:`run` so the lockstep driver (which advances
+        slots itself) performs the exact aggregation -- including the
+        metrics-registry block -- a plain ``run()`` call would.
+        """
         metrics = compute_run_metrics(
             clocks=self.clocks,
             collision_rates=self.collisions.collision_rates(),

@@ -186,6 +186,22 @@ class FallbackChain:
             When every allocator in the chain fails; the exception
             carries the per-stage events.
         """
+        from repro.core.batch import drive
+
+        return drive(self.allocate_iter(
+            problem, slot=slot, inject_nonconvergence=inject_nonconvergence))
+
+    def allocate_iter(self, problem: SlotProblem, *, slot: int,
+                      inject_nonconvergence: bool = False):
+        """Generator form of :meth:`allocate` (lockstep batching).
+
+        Allocators exposing ``allocate_iter`` (the proposed schemes) are
+        driven through the generator protocol so their solves can be
+        batched; anything else -- heuristics, test doubles -- is called
+        inline.  Failure handling is unchanged: exceptions raised while
+        a delegated generator runs propagate through ``yield from`` into
+        the same ``except`` clauses as the direct call.
+        """
         events: List[DegradationEvent] = []
         last_index = len(self.allocators) - 1
         for index, (name, allocator) in enumerate(self.allocators):
@@ -199,7 +215,10 @@ class FallbackChain:
                 _note_degradation(events[-1])
                 continue
             try:
-                allocation = allocator.allocate(problem)
+                if hasattr(allocator, "allocate_iter"):
+                    allocation = yield from allocator.allocate_iter(problem)
+                else:
+                    allocation = allocator.allocate(problem)
             except ConvergenceError as exc:
                 events.append(DegradationEvent(
                     slot=slot, cause="convergence", allocator=name,

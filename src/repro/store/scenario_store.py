@@ -28,6 +28,7 @@ back from pool workers like every other engine metric.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -50,8 +51,28 @@ ENV_STORE = "REPRO_SCENARIO_STORE"
 #: worker's first replication can load warmed artifacts from disk.
 ENV_WORKSPACE = "REPRO_WORKSPACE"
 
+#: Environment override of the disk-persistence floor, in seconds.
+ENV_DISK_FLOOR = "REPRO_STORE_DISK_FLOOR"
+
+#: Default disk-persistence floor: builds cheaper than this are not
+#: worth a deserialisation round-trip (BENCH_store.json measured disk
+#: loads at ~1.3x the cost of just rebuilding the small bench scenario),
+#: so they stay memory-tier only.
+DEFAULT_DISK_FLOOR_SECONDS = 0.002
+
 #: Tri-state in-process override: ``None`` follows the environment.
 _ENABLED: Optional[bool] = None
+
+
+def default_disk_floor() -> float:
+    """The active disk-persistence floor (env override, else default)."""
+    raw = os.environ.get(ENV_DISK_FLOOR)
+    if raw is not None:
+        try:
+            return max(0.0, float(raw))
+        except ValueError:
+            logger.warning("ignoring non-numeric %s=%r", ENV_DISK_FLOOR, raw)
+    return DEFAULT_DISK_FLOOR_SECONDS
 
 
 def store_enabled() -> bool:
@@ -83,6 +104,14 @@ class ScenarioStore:
         attached, artifacts built here are persisted to its
         ``scenarios/`` directory and misses consult the disk before
         rebuilding.
+    disk_floor_seconds:
+        Minimum measured build cost (seconds) for an artifact to earn
+        disk persistence; cheaper builds stay memory-tier only, since
+        loading them back would cost more than rebuilding (the
+        ``disk_speedup: 0.76`` pessimization in BENCH_store.json).
+        ``None`` (default) resolves :data:`ENV_DISK_FLOOR`, falling back
+        to :data:`DEFAULT_DISK_FLOOR_SECONDS`; pass ``0.0`` to persist
+        unconditionally (the pre-floor behaviour).
 
     Notes
     -----
@@ -93,12 +122,17 @@ class ScenarioStore:
     is nothing to coordinate).
     """
 
-    def __init__(self, workspace: Optional[object] = None) -> None:
+    def __init__(self, workspace: Optional[object] = None, *,
+                 disk_floor_seconds: Optional[float] = None) -> None:
         self.workspace = workspace
+        self.disk_floor_seconds = (default_disk_floor()
+                                   if disk_floor_seconds is None
+                                   else max(0.0, float(disk_floor_seconds)))
         self._memory: Dict[str, BuiltScenario] = {}
         self.hits = 0
         self.misses = 0
         self.disk_loads = 0
+        self.persist_skips = 0
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -137,10 +171,25 @@ class ScenarioStore:
                 return built
         self.misses += 1
         self._count("miss")
+        build_start = time.perf_counter()
         built = build_scenario(config, scenario_hash=ref)
+        build_seconds = time.perf_counter() - build_start
         self._memory[ref] = built
         if self.workspace is not None:
-            self.workspace.save_scenario(built)
+            # Disk is only a win when rebuilding costs more than a load:
+            # persisting a build cheaper than the floor would *slow down*
+            # every future cold process (the disk-tier pessimization the
+            # store benchmark exposed).  The memory tier keeps serving
+            # this process either way.
+            if build_seconds >= self.disk_floor_seconds:
+                self.workspace.save_scenario(built)
+            else:
+                self.persist_skips += 1
+                self._count("persist-skipped")
+                logger.debug(
+                    "scenario %s built in %.3f ms, below the %.3f ms disk "
+                    "floor; keeping it memory-tier only", ref[:12],
+                    build_seconds * 1e3, self.disk_floor_seconds * 1e3)
         return built
 
     def clear(self) -> None:

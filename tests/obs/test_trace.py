@@ -91,24 +91,84 @@ class TestBounding:
 
 
 class TestFlushOnCrash:
-    def test_events_readable_without_close(self, tmp_path):
-        # A crash never calls close(); every line must already be on disk.
+    def test_flush_makes_events_readable_without_close(self, tmp_path):
+        # The crash paths (supervisor hard abort, shutdown flushers)
+        # call flush() instead of close(); everything recorded so far
+        # must land on disk.
         tracer = SpanTracer(str(tmp_path / "t.jsonl"))
         with tracer.span("slot", slot=0):
             pass
         tracer.event("degradation", cause="solver")
+        tracer.flush()
         events = read_trace(tracer.path)
         assert [e["name"] for e in events] == ["slot", "degradation"]
+
+    def test_hard_abort_flushes_active_tracer(self, tmp_path):
+        from repro.exec.supervisor import ShutdownCoordinator
+        tracer = activate(SpanTracer(str(tmp_path / "t.jsonl")))
+        try:
+            tracer.event("mid-replication")
+            exits = []
+            coordinator = ShutdownCoordinator(hard_exit=exits.append)
+            coordinator.trigger()
+            coordinator.trigger()  # second signal: hard abort
+            assert exits  # the abort path ran (and would have exited)
+            names = [e["name"] for e in read_trace(tracer.path)]
+            assert "mid-replication" in names
+        finally:
+            deactivate()
 
     def test_read_trace_tolerates_truncated_final_line(self, tmp_path):
         path = tmp_path / "t.jsonl"
         tracer = SpanTracer(str(path))
         tracer.event("first")
         tracer.event("second")
+        tracer.flush()
         with open(path, "a", encoding="utf-8") as handle:
             handle.write('{"kind":"event","name":"torn","spa')
         events = read_trace(str(path))
         assert [e["name"] for e in events] == ["first", "second"]
+
+
+class TestBuffering:
+    def test_lines_buffer_until_a_boundary(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        tracer.event("tick")
+        # Fine-grained records stay in memory...
+        assert read_trace(str(path)) == []
+        # ...until a replication-level span closes.
+        with tracer.span("replication", kind="replication", run=0):
+            pass
+        names = [e["name"] for e in read_trace(str(path))]
+        assert names == ["tick", "replication"]
+        tracer.close()
+
+    def test_buffer_cap_forces_a_flush(self, tmp_path):
+        from repro.obs.trace import FLUSH_BUFFER_LINES
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        for i in range(FLUSH_BUFFER_LINES - 1):
+            tracer.event("tick", i=i)
+        assert read_trace(str(path)) == []
+        tracer.event("tick", i=FLUSH_BUFFER_LINES - 1)
+        assert len(read_trace(str(path))) == FLUSH_BUFFER_LINES
+        tracer.close()
+
+    def test_close_drains_buffer_before_trailer(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = SpanTracer(str(path))
+        tracer.event("tick")
+        tracer.close()
+        names = [e["name"] for e in read_trace(str(path))]
+        assert names == ["tick", "trace-summary"]
+
+    def test_flush_on_empty_buffer_is_a_noop(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        tracer.flush()
+        tracer.flush()
+        assert read_trace(tracer.path) == []
+        tracer.close()
 
 
 class TestActivation:

@@ -83,11 +83,13 @@ class TestStoreCounters:
 class TestDiskTier:
     def test_fresh_store_loads_from_workspace(self, config, tmp_path):
         workspace = FileWorkspace(tmp_path / "ws")
-        warm = ScenarioStore(workspace=workspace)
+        # Floor 0: persist unconditionally so the disk tier is exercised
+        # regardless of how fast this machine builds the tiny fixture.
+        warm = ScenarioStore(workspace=workspace, disk_floor_seconds=0.0)
         built = warm.get_or_build(config)
         assert workspace.scenario_path(built.scenario_hash).exists()
 
-        cold = ScenarioStore(workspace=workspace)
+        cold = ScenarioStore(workspace=workspace, disk_floor_seconds=0.0)
         loaded = cold.get_or_build(config)
         assert (cold.misses, cold.disk_loads) == (0, 1)
         # Disk round-trip is exact (JSON float64 shortest-repr).
@@ -95,6 +97,29 @@ class TestDiskTier:
         # ...and the load lands in memory: next lookup is a pure hit.
         cold.get_or_build(config)
         assert cold.hits == 1
+
+    def test_cheap_build_skips_disk_persistence(self, config, tmp_path):
+        workspace = FileWorkspace(tmp_path / "ws")
+        # An unreachably high floor: the tiny fixture build is always
+        # cheaper, so it must stay memory-tier only.
+        store = ScenarioStore(workspace=workspace, disk_floor_seconds=1e6)
+        built = store.get_or_build(config)
+        assert store.persist_skips == 1
+        assert not workspace.scenario_path(built.scenario_hash).exists()
+        # The memory tier still serves the artifact.
+        store.get_or_build(config)
+        assert store.hits == 1
+
+    def test_disk_floor_env_override(self, config, tmp_path, monkeypatch):
+        from repro.store.scenario_store import ENV_DISK_FLOOR
+
+        monkeypatch.setenv(ENV_DISK_FLOOR, "0")
+        workspace = FileWorkspace(tmp_path / "ws")
+        store = ScenarioStore(workspace=workspace)
+        assert store.disk_floor_seconds == 0.0
+        built = store.get_or_build(config)
+        assert workspace.scenario_path(built.scenario_hash).exists()
+        assert store.persist_skips == 0
 
     def test_corrupt_artifact_degrades_to_miss(self, config, tmp_path):
         workspace = FileWorkspace(tmp_path / "ws")

@@ -72,8 +72,12 @@ def test_results_identical_store_on_vs_off(tmp_path, monkeypatch, jobs):
 
 
 @pytest.mark.parametrize("jobs", [1, 2])
-def test_warmed_workspace_skips_rebuild(tmp_path, jobs):
+def test_warmed_workspace_skips_rebuild(tmp_path, monkeypatch, jobs):
+    from repro.store.scenario_store import ENV_DISK_FLOOR
     from repro.store.workspace import FileWorkspace
+    # Floor 0 so the tiny test scenarios persist; the env is inherited
+    # by --jobs pool workers, unlike a constructor argument.
+    monkeypatch.setenv(ENV_DISK_FLOOR, "0")
     cold_json, _ = run_sweep(tmp_path, f"cold-{jobs}", jobs=jobs,
                              workspace=tmp_path / "ws")
     # The cold run persisted one artifact per sweep point (built in the
