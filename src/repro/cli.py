@@ -43,6 +43,7 @@ from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4c
 from repro.experiments.fig6 import run_fig6a, run_fig6b, run_fig6c
 from repro.experiments.report import format_convergence, format_fig3, format_sweep
 from repro.experiments.scenarios import interfering_fbs_scenario, single_fbs_scenario
+from repro.registry import scenario_registry, scheme_registry
 from repro.sim.runner import MonteCarloRunner
 from repro.utils.errors import SweepDeadlineExceeded, SweepInterrupted
 
@@ -141,11 +142,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="run one scenario and print metrics")
     add_common(simulate)
-    simulate.add_argument("--scenario", choices=("single", "interfering"),
-                          default="single")
+    simulate.add_argument("--scenario", choices=scenario_registry().names(),
+                          default="single",
+                          help="registered scenario generator "
+                               "(see `repro scenarios`)")
     simulate.add_argument("--scheme", default="proposed-fast",
-                          choices=("proposed", "proposed-fast",
-                                   "heuristic1", "heuristic2"))
+                          choices=scheme_registry().names(),
+                          help="registered allocation scheme "
+                               "(see `repro schemes`)")
+    simulate.add_argument("--scenario-arg", action="append", default=[],
+                          metavar="KEY=VALUE",
+                          help="extra generator parameter, repeatable "
+                               "(e.g. --scenario-arg rows=4); values "
+                               "coerce to int/float/bool when they parse "
+                               "as one")
+
+    sub.add_parser("schemes",
+                   help="list registered allocation schemes and their "
+                        "capability flags")
+    sub.add_parser("scenarios",
+                   help="list registered scenario generators")
 
     workspace = sub.add_parser(
         "workspace", help="inspect or garbage-collect a managed workspace")
@@ -226,19 +242,45 @@ def _apply_workspace(args) -> None:
         args.checkpoint = str(workspace.checkpoint_path(f"{command}.jsonl"))
 
 
+def _coerce_scenario_value(text: str):
+    """``--scenario-arg`` value coercion: int, float, bool, else str."""
+    for caster in (int, float):
+        try:
+            return caster(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _scenario_params(args) -> dict:
+    """Parsed ``--scenario-arg KEY=VALUE`` pairs as generator kwargs."""
+    params = {}
+    for item in getattr(args, "scenario_arg", []) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise SystemExit(
+                f"repro: --scenario-arg expects KEY=VALUE, got {item!r}")
+        params[key.replace("-", "_")] = _coerce_scenario_value(value)
+    return params
+
+
 def _base_config(args, command: Optional[str] = None):
     """The command's base scenario config (for the manifest fingerprint)."""
     if command is None:
         command = getattr(args, "command", "")
-    scenario = getattr(args, "scenario", None)
-    interfering = (command.startswith("fig6")
-                   or scenario == "interfering")
-    builder = interfering_fbs_scenario if interfering else single_fbs_scenario
     kwargs = {"seed": getattr(args, "seed", None)}
     if getattr(args, "gops", None) is not None:
         kwargs["n_gops"] = args.gops
     if getattr(args, "scheme", None) is not None:
         kwargs["scheme"] = args.scheme
+    scenario = getattr(args, "scenario", None)
+    if scenario is not None:
+        return scenario_registry().build(scenario, **kwargs,
+                                         **_scenario_params(args))
+    builder = (interfering_fbs_scenario if command.startswith("fig6")
+               else single_fbs_scenario)
     return builder(**kwargs)
 
 
@@ -359,9 +401,9 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
 
 
 def _run_simulate(args) -> Tuple[str, int]:
-    builder = (single_fbs_scenario if args.scenario == "single"
-               else interfering_fbs_scenario)
-    config = builder(n_gops=args.gops, seed=args.seed, scheme=args.scheme)
+    config = scenario_registry().build(
+        args.scenario, n_gops=args.gops, seed=args.seed, scheme=args.scheme,
+        **_scenario_params(args))
     summary = MonteCarloRunner(
         config, n_runs=args.runs, jobs=getattr(args, "jobs", 1),
         cell_timeout=getattr(args, "cell_timeout", None),
@@ -378,7 +420,8 @@ def _run_simulate(args) -> Tuple[str, int]:
                  f"(excluded from the statistics)")
     lines.append(f"degraded slots : {summary.n_degraded_slots} "
                  f"(solver fallbacks / sensing outages)")
-    if args.scheme.startswith("proposed") and args.scenario == "interfering":
+    interfering = config.topology.interference_graph.number_of_edges() > 0
+    if scheme_registry().get(args.scheme).greedy_channels and interfering:
         lines.append(f"eq. (23) bound : {summary.upper_bound_psnr}")
     if getattr(args, "profile", False) and summary.phase_seconds:
         lines.append("phase seconds  : "
@@ -438,10 +481,37 @@ def _run_workspace(args) -> int:
     return 0
 
 
+def _run_schemes() -> int:
+    """The ``repro schemes`` listing."""
+    registry = scheme_registry()
+    print(_heading(f"registered allocation schemes ({len(registry)})"))
+    width = max(len(name) for name in registry.names())
+    for info in registry:
+        flags = ", ".join(info.flags) or "-"
+        print(f"{info.name:<{width}}  [{flags}]")
+        if info.description:
+            print(f"{'':<{width}}  {info.description}")
+    return 0
+
+
+def _run_scenarios() -> int:
+    """The ``repro scenarios`` listing."""
+    registry = scenario_registry()
+    print(_heading(f"registered scenario generators ({len(registry)})"))
+    width = max(len(name) for name in registry.names())
+    for info in registry:
+        print(f"{info.name:<{width}}  {info.description}")
+    return 0
+
+
 def _dispatch(args) -> int:
     """Run the parsed command (observability already configured)."""
     if args.command == "workspace":
         return _run_workspace(args)
+    if args.command == "schemes":
+        return _run_schemes()
+    if args.command == "scenarios":
+        return _run_scenarios()
     _apply_workspace(args)
     n_failed = 0
     if args.command == "fig4a":

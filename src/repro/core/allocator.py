@@ -1,15 +1,20 @@
-"""Scheme registry: a uniform facade over all allocation algorithms.
+"""Built-in allocation schemes and their registry entries.
 
 The simulation engine is scheme-agnostic -- it hands each slot's
 :class:`~repro.core.problem.SlotProblem` to an *allocator* and applies the
-returned :class:`~repro.core.problem.Allocation`.  This module maps scheme
-names to allocator objects:
+returned :class:`~repro.core.problem.Allocation`.  This module defines the
+paper's allocators and registers them with the process-wide
+:class:`~repro.registry.schemes.SchemeRegistry`:
 
 * ``"proposed"`` -- the paper's algorithm (dual decomposition; combined
   with greedy channel allocation by the engine when FBSs interfere).
 * ``"proposed-fast"`` -- same optimisation problem solved by the fast
   exact-inner-solve variant (identical results, used for large sweeps).
 * ``"heuristic1"`` / ``"heuristic2"`` -- the comparison schemes.
+
+The ``"graph-coloring"`` scheme lives in :mod:`repro.core.coloring`,
+imported at the bottom of this module so one import completes the
+built-in set.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from repro.core.batch import SolveRequest, fast_solve_iter, fast_solve_warm_iter
 from repro.core.dual import DualDecompositionSolver, fast_solve, fast_solve_warm
 from repro.core.heuristics import EqualAllocationHeuristic, MultiuserDiversityHeuristic
 from repro.core.problem import Allocation, SlotProblem
-from repro.utils.errors import ConfigurationError
+from repro.registry.schemes import SchemeInfo, register_scheme, scheme_registry
 
 
 class ProposedAllocator:
@@ -101,30 +106,67 @@ class ProposedAllocator:
         return solution.allocation
 
 
-SCHEMES = ("proposed", "proposed-fast", "heuristic1", "heuristic2")
+def _proposed_factory(**kwargs):
+    return ProposedAllocator(fast=False, **kwargs)
+
+
+def _proposed_fast_factory(**kwargs):
+    return ProposedAllocator(fast=True, **kwargs)
+
+
+register_scheme(SchemeInfo(
+    name="proposed",
+    factory=_proposed_factory,
+    batchable=True,
+    warm_startable=True,
+    greedy_channels=True,
+    accepts_options=True,
+    description="Dual-decomposition optimum (Tables I/II) with greedy "
+                "channel allocation under interference.",
+))
+register_scheme(SchemeInfo(
+    name="proposed-fast",
+    factory=_proposed_fast_factory,
+    batchable=True,
+    warm_startable=True,
+    greedy_channels=True,
+    accepts_options=True,
+    description="Same convex program via the fast exact-inner solver; "
+                "identical results, preferred for large sweeps.",
+))
+register_scheme(SchemeInfo(
+    name="heuristic1",
+    factory=EqualAllocationHeuristic,
+    fallback_eligible=True,
+    description="Equal-share comparison heuristic; closed-form, so it "
+                "terminates every fallback chain.",
+))
+register_scheme(SchemeInfo(
+    name="heuristic2",
+    factory=MultiuserDiversityHeuristic,
+    description="Multiuser-diversity comparison heuristic.",
+))
+
+# Complete the built-in set before freezing SCHEMES: the graph-coloring
+# scheme registers itself at import.  Must be a direct submodule import
+# (this module runs during ``repro.core`` package init).
+import repro.core.coloring  # noqa: E402,F401
+
+#: Names of all registered schemes, in registration order.  Kept as a
+#: module attribute for backward compatibility; the registry is the
+#: source of truth.
+SCHEMES = scheme_registry().names()
 
 
 def get_allocator(scheme: str, **kwargs):
-    """Instantiate an allocator by scheme name.
+    """Instantiate an allocator by registered scheme name.
 
     Parameters
     ----------
     scheme:
-        One of :data:`SCHEMES`.
+        Any name in :func:`~repro.registry.schemes.scheme_registry`.
     kwargs:
-        Forwarded to the allocator constructor (only meaningful for the
-        proposed schemes).
+        Forwarded to the allocator factory; schemes without the
+        ``accepts_options`` capability reject any options.
     """
-    if scheme == "proposed":
-        return ProposedAllocator(fast=False, **kwargs)
-    if scheme == "proposed-fast":
-        return ProposedAllocator(fast=True, **kwargs)
-    if scheme == "heuristic1":
-        if kwargs:
-            raise ConfigurationError(f"heuristic1 accepts no options, got {kwargs}")
-        return EqualAllocationHeuristic()
-    if scheme == "heuristic2":
-        if kwargs:
-            raise ConfigurationError(f"heuristic2 accepts no options, got {kwargs}")
-        return MultiuserDiversityHeuristic()
-    raise ConfigurationError(f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
+    return scheme_registry().create(scheme, **kwargs)

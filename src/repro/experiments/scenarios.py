@@ -121,3 +121,22 @@ def _place_users(fbs_positions: Sequence, users_per_fbs: int) -> List[CrUser]:
             ))
             user_id += 1
     return users
+
+# -- registry entries -------------------------------------------------------
+# Direct calls to the builders above keep working unchanged; building
+# through the registry additionally stamps the generator's identity onto
+# the config (see repro.registry.scenarios).
+from repro.registry.scenarios import ScenarioInfo, register_scenario  # noqa: E402
+
+register_scenario(ScenarioInfo(
+    name="single",
+    factory=single_fbs_scenario,
+    description="Section V-A scenario 1: one FBS, three CR users, no "
+                "interference.",
+))
+register_scenario(ScenarioInfo(
+    name="interfering",
+    factory=interfering_fbs_scenario,
+    description="Section V-A scenario 2: three FBSs in the Fig. 5 "
+                "interference chain, three users each.",
+))

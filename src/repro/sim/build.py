@@ -183,8 +183,13 @@ def build_scenario(config: ScenarioConfig, *,
     # Per-channel stationary utilisation; identical channels in the
     # paper's evaluation, but kept as an array to match the batched
     # fusion's consumption (and the Spectrum's per-channel shape).
-    eta = config.p01 / (config.p01 + config.p10)
-    etas = np.full(config.n_channels, eta, dtype=np.float64)
+    # Scenarios with heterogeneous occupancy supply the utilisations
+    # directly (and the Spectrum derives each channel's p01 from them).
+    if config.channel_utilizations is not None:
+        etas = np.asarray(config.channel_utilizations, dtype=np.float64)
+    else:
+        eta = config.p01 / (config.p01 + config.p10)
+        etas = np.full(config.n_channels, eta, dtype=np.float64)
 
     demands_static: Dict[int, dict] = {}
     for user in topology.users:

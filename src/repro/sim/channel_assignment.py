@@ -21,6 +21,7 @@ from typing import Dict, List, Sequence, Set
 
 import networkx as nx
 
+from repro.core.coloring import interference_coloring
 from repro.utils.errors import ConfigurationError
 
 
@@ -52,8 +53,8 @@ def color_partition_allocation(graph: nx.Graph, fbs_ids: Sequence[int],
             f"FBS ids {missing} are not vertices of the interference graph")
     if not fbs_ids:
         return {}
-    subgraph = graph.subgraph(fbs_ids)
-    coloring = nx.greedy_color(subgraph, strategy="largest_first")
+    coloring = interference_coloring(graph, fbs_ids,
+                                     strategy="largest_first")
     n_colors = max(coloring.values()) + 1 if coloring else 1
     classes: List[List[int]] = [[] for _ in range(n_colors)]
     for fbs_id, color in coloring.items():

@@ -112,10 +112,19 @@ class SweepCheckpoint:
         The sweep's identity, stored in (and verified against) the
         header so a checkpoint can never be resumed by a different
         sweep.
+    config_hash:
+        Optional full config identity
+        (:func:`~repro.store.confighash.config_hash` of the sweep's base
+        config).  Stored in the header and verified on resume when the
+        *stored* header carries one -- so a checkpoint can never be
+        resumed against a base config that differs in a field the sweep
+        identity tuple does not cover (generator, topology, ablations).
+        Checkpoints from before this field resume tolerantly.
     """
 
     def __init__(self, path: Union[str, Path], *, parameter: str, values,
-                 schemes, n_runs: int, seed: Optional[int]) -> None:
+                 schemes, n_runs: int, seed: Optional[int],
+                 config_hash: Optional[str] = None) -> None:
         self.path = Path(path)
         self._header = {
             "kind": "sweep-checkpoint",
@@ -126,6 +135,8 @@ class SweepCheckpoint:
             "n_runs": int(n_runs),
             "seed": _coerce_json_value(seed),
         }
+        if config_hash is not None:
+            self._header["config"] = str(config_hash)
         self._cells: Dict[str, Union[RunMetrics, FailedRun]] = {}
         if self.path.exists() and self.path.stat().st_size > 0:
             self._load()
@@ -258,3 +269,12 @@ class SweepCheckpoint:
                     f"checkpoint {self.path} belongs to a different sweep: "
                     f"{key} is {header.get(key)!r}, this sweep has "
                     f"{self._header[key]!r}")
+        # Config identity: enforced only when both sides carry one, so
+        # pre-existing checkpoints (and callers with unhashable test
+        # configs) keep resuming.
+        stored = header.get("config")
+        ours = self._header.get("config")
+        if stored is not None and ours is not None and stored != ours:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different base "
+                f"config: config hash {stored} != {ours}")

@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
-from repro.core.allocator import SCHEMES
 from repro.net.topology import Topology
+from repro.registry.schemes import scheme_registry
 from repro.utils.errors import ConfigurationError
 from repro.utils.validation import check_positive, check_probability
 
@@ -27,13 +27,22 @@ class ScenarioConfig:
         The resolved network (nodes, association, link budgets,
         interference graph).
     scheme:
-        Allocation scheme: ``proposed``, ``proposed-fast``,
-        ``heuristic1``, or ``heuristic2``.
+        Allocation scheme; any name in
+        :func:`~repro.registry.schemes.scheme_registry` (built-ins:
+        ``proposed``, ``proposed-fast``, ``heuristic1``, ``heuristic2``,
+        ``graph-coloring``).
     n_channels:
         Number of licensed channels ``M``.
     p01, p10:
         Occupancy-chain transition probabilities (identical across
         channels, as in the paper's evaluation).
+    channel_utilizations:
+        Optional per-channel stationary utilisations ``eta_m`` (length
+        ``n_channels``).  When set, channel ``m``'s ``p01`` is derived
+        from its utilisation and the shared ``p10`` as
+        ``eta_m * p10 / (1 - eta_m)`` -- heterogeneous occupancy as in
+        Chowdhury's adaptive femtocell/macrocell resource management.
+        ``None`` (default) keeps the paper's homogeneous chain.
     gamma:
         Maximum allowable collision probability with primary users.
     common_bandwidth_mbps, licensed_bandwidth_mbps:
@@ -102,6 +111,13 @@ class ScenarioConfig:
         ``sensing_outage(slot, n_channels)`` -- and the Monte-Carlo
         runner announces replications via ``begin_run(run_index,
         attempt)`` when the plan defines it.
+    generator, generator_params:
+        Identity stamp set by
+        :meth:`~repro.registry.scenarios.ScenarioRegistry.build`: the
+        registered scenario generator's name and its (sorted) build
+        parameters.  Part of ``scenario_hash``/``config_hash``, so two
+        generators can never alias one hash; ``None`` for configs built
+        directly (hash identity unchanged from before the registry).
     """
 
     topology: Topology
@@ -128,11 +144,16 @@ class ScenarioConfig:
     warm_start: bool = False
     seed: Optional[int] = 7
     fault_plan: Optional[object] = None
+    channel_utilizations: Optional[Tuple[float, ...]] = None
+    generator: Optional[str] = None
+    generator_params: Optional[Tuple[Tuple[str, object], ...]] = None
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
+        registry = scheme_registry()
+        if self.scheme not in registry:
             raise ConfigurationError(
-                f"scheme must be one of {SCHEMES}, got {self.scheme!r}")
+                f"scheme must be one of {registry.names()}, "
+                f"got {self.scheme!r}")
         if self.access_policy not in ("probabilistic", "threshold"):
             raise ConfigurationError(
                 f"access_policy must be 'probabilistic' or 'threshold', "
@@ -157,6 +178,31 @@ class ScenarioConfig:
         if self.nal_packet_bits <= 0:
             raise ConfigurationError(
                 f"nal_packet_bits must be positive, got {self.nal_packet_bits}")
+        if self.channel_utilizations is not None:
+            etas = tuple(float(eta) for eta in self.channel_utilizations)
+            object.__setattr__(self, "channel_utilizations", etas)
+            if len(etas) != self.n_channels:
+                raise ConfigurationError(
+                    f"channel_utilizations must have n_channels="
+                    f"{self.n_channels} entries, got {len(etas)}")
+            for index, eta in enumerate(etas):
+                check_probability(eta, f"channel_utilizations[{index}]",
+                                  allow_zero=False, allow_one=False)
+                p01 = eta * self.p10 / (1.0 - eta)
+                if p01 > 1.0:
+                    raise ConfigurationError(
+                        f"channel_utilizations[{index}]={eta} implies "
+                        f"p01={p01:.4f} > 1 with p10={self.p10}; lower the "
+                        f"utilisation or p10")
+            if self.belief_tracking:
+                raise ConfigurationError(
+                    "channel_utilizations is incompatible with "
+                    "belief_tracking (the belief tracker assumes one "
+                    "shared transition chain)")
+        if self.generator_params is not None:
+            params = tuple((str(key), value)
+                           for key, value in self.generator_params)
+            object.__setattr__(self, "generator_params", params)
 
     @property
     def n_slots(self) -> int:
@@ -167,6 +213,15 @@ class ScenarioConfig:
     def utilization(self) -> float:
         """Stationary channel utilisation ``eta`` implied by (p01, p10)."""
         return self.p01 / (self.p01 + self.p10)
+
+    @property
+    def channel_p01(self):
+        """Per-channel ``p01``: the scalar, or the tuple derived from
+        ``channel_utilizations`` (``eta_m * p10 / (1 - eta_m)``)."""
+        if self.channel_utilizations is None:
+            return self.p01
+        return tuple(eta * self.p10 / (1.0 - eta)
+                     for eta in self.channel_utilizations)
 
     def with_scheme(self, scheme: str) -> "ScenarioConfig":
         """Copy of this config running a different allocation scheme."""

@@ -30,12 +30,11 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from repro.core.accel import acceleration_enabled
-from repro.core.allocator import get_allocator
 from repro.core.batch import drive, fast_solve_iter, fast_solve_warm_iter
 from repro.core.bounds import GreedyTrace, tighter_upper_bound
 from repro.core.greedy import GreedyChannelAllocator
-from repro.core.heuristics import EqualAllocationHeuristic
 from repro.core.problem import Allocation, SlotProblem, UserDemand
+from repro.registry.schemes import scheme_registry
 from repro.obs.metrics import PSNR_BUCKETS, global_registry, metrics_enabled
 from repro.obs.trace import active_tracer
 from repro.sensing.access import (
@@ -59,7 +58,7 @@ from repro.sim.channel_assignment import (
     expected_channels_of,
 )
 from repro.sim.config import ScenarioConfig
-from repro.sim.fallback import DegradationEvent, FallbackChain
+from repro.sim.fallback import DegradationEvent, fallback_chain_for
 from repro.sim.metrics import RunMetrics, compute_run_metrics
 from repro.spectrum.channel import Spectrum
 from repro.utils.errors import NumericalError
@@ -119,7 +118,7 @@ class SimulationEngine:
         self._fading_rng = streams["fading"]
 
         self.spectrum = Spectrum(
-            config.n_channels, config.p01, config.p10,
+            config.n_channels, config.channel_p01, config.p10,
             licensed_bandwidth_mbps=config.licensed_bandwidth_mbps,
             common_bandwidth_mbps=config.common_bandwidth_mbps,
             max_collision_probability=config.gamma,
@@ -171,19 +170,18 @@ class SimulationEngine:
         # (lazily fillable for artifacts from older builds).
         self._sensing_layout: Dict[int, tuple] = dict(built.sensing_layouts)
 
-        self._is_proposed = config.scheme in ("proposed", "proposed-fast")
+        scheme_info = scheme_registry().get(config.scheme)
+        self._greedy_channels = scheme_info.greedy_channels
         allocator_kwargs = (
-            {"warm_start": True} if self._is_proposed and config.warm_start
-            else {})
-        self.allocator = get_allocator(config.scheme, **allocator_kwargs)
+            {"warm_start": True}
+            if scheme_info.warm_startable and config.warm_start else {})
+        self.allocator = scheme_info.create(**allocator_kwargs)
         # Solver fallback chain: the configured scheme first, degrading to
-        # the closed-form equal-allocation heuristic (which cannot fail to
-        # converge) when the primary solver misbehaves -- see
+        # the fallback-eligible registered schemes (closed-form, cannot
+        # fail to converge) when the primary solver misbehaves -- see
         # repro.sim.fallback for the validation and event semantics.
-        chain = [(config.scheme, self.allocator)]
-        if config.scheme != "heuristic1":
-            chain.append(("heuristic1", EqualAllocationHeuristic()))
-        self._fallback_chain = FallbackChain(chain)
+        self._fallback_chain = fallback_chain_for(config.scheme,
+                                                  self.allocator)
         self.degradations: List[DegradationEvent] = []
         self._interfering = built.interfering
         self._fbs_ids = list(built.fbs_ids)
@@ -556,7 +554,7 @@ class SimulationEngine:
             channel_map = {i: set(available) for i in fbs_ids}
             expected = {i: g_all for i in fbs_ids}
             problem = self.build_slot_problem(expected, csi)
-        elif self._is_proposed:
+        elif self._greedy_channels:
             problem = self.build_slot_problem({i: 0.0 for i in fbs_ids}, csi)
             # The time-share allocation at the final c is recomputed by
             # the fallback chain below, so skip the greedy's own final

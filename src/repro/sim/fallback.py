@@ -13,10 +13,12 @@ of crashing.  The events ride along in
 :class:`~repro.sim.metrics.RunMetrics` so experiments can report *how
 often* they degraded, not just their final numbers.
 
-The default chain built by the engine is ``[configured scheme,
-heuristic1]`` -- the equal-allocation heuristic is closed-form and cannot
-fail to converge, which makes it a safe terminal fallback for every
-scheme.
+The engine builds its chain through :func:`fallback_chain_for`: the
+configured scheme first, then every registered scheme carrying the
+``fallback_eligible`` capability (in registration order).  Among the
+built-ins only ``heuristic1`` is fallback-eligible -- the
+equal-allocation heuristic is closed-form and cannot fail to converge,
+which makes it a safe terminal fallback for every scheme.
 """
 
 from __future__ import annotations
@@ -128,6 +130,27 @@ def check_allocation(problem: SlotProblem,
         if cell_load > 1.0 + _FEASIBILITY_TOL:
             return "infeasible"
     return None
+
+
+def fallback_chain_for(scheme: str, allocator: object,
+                       registry=None) -> "FallbackChain":
+    """Build the degradation chain for a scheme's allocator.
+
+    The chain starts with ``(scheme, allocator)`` and appends every
+    *other* registered scheme whose :class:`~repro.registry.schemes.
+    SchemeInfo` carries ``fallback_eligible``, in registration order
+    (freshly instantiated -- fallback allocators never share state with
+    the primary).  A fallback-eligible primary therefore gets a
+    single-link chain, exactly as ``heuristic1`` always has.
+    """
+    if registry is None:
+        from repro.registry.schemes import scheme_registry
+
+        registry = scheme_registry()
+    chain = [(scheme, allocator)]
+    chain.extend((info.name, info.create()) for info in registry
+                 if info.fallback_eligible and info.name != scheme)
+    return FallbackChain(chain)
 
 
 def _note_degradation(event: DegradationEvent) -> None:

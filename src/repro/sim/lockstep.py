@@ -42,15 +42,13 @@ from repro.obs.metrics import (
     set_global_registry,
 )
 from repro.obs.trace import active_tracer
+from repro.registry.schemes import scheme_registry
 from repro.sim.engine import SimulationEngine
 from repro.store.scenario_store import built_for
 from repro.utils.errors import ReproError
 from repro.utils.rng import derive_seed
 
 logger = get_logger(__name__)
-
-#: Schemes whose allocators yield batchable solve requests.
-BATCHABLE_SCHEMES = ("proposed", "proposed-fast")
 
 #: Largest lockstep formation.  The stacked kernel's per-iteration cost
 #: is nearly flat in B, but memory for B live engines adds up and wider
@@ -74,8 +72,15 @@ def lockstep_eligible() -> bool:
             and active_tracer() is None)
 
 
+def batchable_schemes() -> Tuple[str, ...]:
+    """Registered schemes carrying the ``batchable`` capability."""
+    return tuple(info.name for info in scheme_registry() if info.batchable)
+
+
 def _cell_batchable(cell: Cell) -> bool:
-    return (cell.scheme in BATCHABLE_SCHEMES
+    registry = scheme_registry()
+    return (cell.scheme in registry
+            and registry.get(cell.scheme).batchable
             and cell.config.fault_plan is None
             and cell.config.seed is not None)
 
@@ -193,6 +198,7 @@ def run_cells_lockstep(
     config = cells[0].config
     members: List[_LockstepMember] = []
     escaped: List[Cell] = []
+    refused = 0
 
     for cell in cells:
         seed = derive_seed(config.seed, cell.run_index, 0)
@@ -205,6 +211,14 @@ def run_cells_lockstep(
         except ReproError:
             # Build failed; the per-cell path will fail (and retry)
             # identically on its own clock.
+            escaped.append(cell)
+            continue
+        if not hasattr(engine.allocator, "allocate_iter"):
+            # The scheme registered itself batchable but its allocator
+            # cannot yield solve requests; refuse the claim and run the
+            # cell through the inline per-cell path instead of crashing
+            # the formation mid-slot.
+            refused += 1
             escaped.append(cell)
             continue
         member = _LockstepMember(cell, registry, engine)
@@ -283,6 +297,8 @@ def run_cells_lockstep(
         registry.counter("repro_lockstep_rounds_total").inc(rounds)
         registry.counter("repro_lockstep_batched_solves_total").inc(
             batched_solves)
+        if refused:
+            registry.counter("repro_lockstep_refused_total").inc(refused)
         if escaped:
             registry.counter("repro_lockstep_escapes_total").inc(
                 len(escaped))

@@ -39,6 +39,7 @@ from repro.sim.metrics import (
     RunMetrics,
     summarize_runs,
 )
+from repro.store.confighash import config_hash
 from repro.store.scenario_store import activate_workspace, built_for
 from repro.utils.errors import (
     ConfigurationError,
@@ -395,9 +396,19 @@ def sweep(base_config: ScenarioConfig, parameter: str, values: Sequence[object],
     if isinstance(checkpoint_path, SweepCheckpoint):
         checkpoint = checkpoint_path
     elif checkpoint_path is not None:
+        try:
+            # The fault plan is deliberately not part of the checkpoint
+            # fingerprint (a fault-injected sweep may be resumed
+            # fault-free and vice versa), so hash without it.
+            base_hash = config_hash(base_config.replace(fault_plan=None))
+        except TypeError:
+            # Duck-typed test configs (un-canonicalisable topologies)
+            # sweep fine; they just forgo the config-identity guard.
+            base_hash = None
         checkpoint = SweepCheckpoint(
             checkpoint_path, parameter=parameter, values=values,
-            schemes=schemes, n_runs=n_runs, seed=base_config.seed)
+            schemes=schemes, n_runs=n_runs, seed=base_config.seed,
+            config_hash=base_hash)
     if workspace is not None:
         refs = sorted({cell.scenario_ref for cell in plan.cells
                        if cell.scenario_ref is not None})

@@ -50,9 +50,16 @@ SCENARIO_BUILD_FIELDS: Tuple[str, ...] = (
     "n_channels",
     "p01",
     "p10",
+    "channel_utilizations",
     "common_bandwidth_mbps",
     "licensed_bandwidth_mbps",
     "deadline_slots",
+    # Registry identity: the generator that produced this scenario and
+    # its build parameters (see repro.registry.scenarios).  Two
+    # registered generators can therefore never alias one build
+    # artifact, even if their scalar fields happen to coincide.
+    "generator",
+    "generator_params",
 )
 
 #: ScenarioConfig fields excluded from :func:`config_hash` because they

@@ -1,0 +1,1 @@
+"""Registry and cross-scheme conformance suites."""

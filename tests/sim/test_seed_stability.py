@@ -25,6 +25,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.experiments.citygrid import city_grid_scenario
 from repro.experiments.scenarios import (
     interfering_fbs_scenario,
     single_fbs_scenario,
@@ -38,6 +39,11 @@ SCENARIOS = {
         n_gops=1, n_channels=4, seed=20260806),
     "interfering_fbs": lambda: interfering_fbs_scenario(
         n_gops=1, n_channels=4, seed=20260806),
+    "graph_coloring": lambda: interfering_fbs_scenario(
+        n_gops=1, n_channels=4, seed=20260806, scheme="graph-coloring"),
+    "city_grid": lambda: city_grid_scenario(
+        rows=2, cols=2, users_per_fbs=2, n_channels=4, n_gops=1,
+        seed=20260806),
 }
 
 

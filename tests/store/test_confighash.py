@@ -80,9 +80,12 @@ class TestConfigHashes:
             "n_channels": base.n_channels + 2,
             "p01": base.p01 + 0.05,
             "p10": base.p10 + 0.05,
+            "channel_utilizations": (0.5,) * base.n_channels,
             "common_bandwidth_mbps": base.common_bandwidth_mbps + 0.1,
             "licensed_bandwidth_mbps": base.licensed_bandwidth_mbps + 0.1,
             "deadline_slots": base.deadline_slots + 1,
+            "generator": "single",
+            "generator_params": (("n_channels", base.n_channels),),
         }
         assert set(changed) == set(SCENARIO_BUILD_FIELDS)
         for field, value in changed.items():
