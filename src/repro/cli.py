@@ -8,6 +8,9 @@ Usage (after ``pip install -e .``)::
     python -m repro fig6a --runs 5 --gops 2
     python -m repro simulate --scenario interfering --scheme heuristic2
     python -m repro all --runs 5
+    python -m repro serve --workspace ws            # HTTP job service
+    python -m repro submit fig4b --runs 2 --wait    # queue over HTTP
+    python -m repro compare a.json b.json           # diff two results
 
 Each figure command prints the same rows/series the paper's figure
 reports (see EXPERIMENTS.md for the committed reference output).
@@ -120,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "--output into DIR/results/ and --checkpoint "
                             "into DIR/checkpoints/, and register the run "
                             "in DIR/index.json (see `repro workspace`)")
+        p.add_argument("--run-name", metavar="NAME", default=None,
+                       help="register the run in the workspace under NAME "
+                            "instead of the command name (the job service "
+                            "uses this so concurrent jobs of the same "
+                            "figure never collide in the index)")
 
     for name, title in (
         ("fig3", "Fig. 3: per-user PSNR, single FBS"),
@@ -177,6 +185,81 @@ def build_parser() -> argparse.ArgumentParser:
     workspace.add_argument("--dry-run", action="store_true",
                            help="gc only: report what would be removed "
                                 "without deleting anything")
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP job service over a workspace "
+                      "(see repro.serve)")
+    serve.add_argument("--workspace", metavar="DIR", default=None,
+                       help="workspace holding job records and artifacts "
+                            "(default: the REPRO_WORKSPACE environment "
+                            "variable)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (default 8765; 0 picks a free port)")
+    serve.add_argument("--job-workers", type=int, default=2, metavar="N",
+                       help="concurrent jobs (default 2; each job also "
+                            "parallelises internally via its spec's "
+                            "'jobs' field)")
+    serve.add_argument("--log-level", default="info",
+                       choices=("debug", "info", "warning", "error"),
+                       help="stderr log level (default info)")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running `repro serve` instance")
+    submit.add_argument("job_command", metavar="COMMAND",
+                        help="what to run: fig4b, fig4c, fig6a, fig6b, "
+                             "fig6c, fig3, or simulate")
+    submit.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="service base URL "
+                             "(default http://127.0.0.1:8765)")
+    submit.add_argument("--runs", type=int, default=10,
+                        help="Monte-Carlo replications per point (default 10)")
+    submit.add_argument("--gops", type=int, default=3,
+                        help="GOP windows per run (default 3)")
+    submit.add_argument("--seed", type=int, default=7,
+                        help="root RNG seed (default 7)")
+    submit.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes inside the job (default 1; "
+                             "results are bit-identical at any N)")
+    submit.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SEC", help="per-cell deadline for the job")
+    submit.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                        help="whole-job wall-clock deadline")
+    submit.add_argument("--scenario", default=None,
+                        help="scenario generator (simulate only)")
+    submit.add_argument("--scheme", default=None,
+                        help="allocation scheme (simulate only)")
+    submit.add_argument("--scenario-arg", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="extra generator parameter, repeatable "
+                             "(simulate only)")
+    submit.add_argument("--job-trace", action="store_true",
+                        help="have the job record a span trace (fetch it "
+                             "from /api/jobs/<id>/trace)")
+    submit.add_argument("--force", action="store_true",
+                        help="queue even when an equivalent job exists "
+                             "(bypass dedup-by-spec-hash)")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job finishes and exit with "
+                             "its exit code")
+    submit.add_argument("--timeout", type=float, default=3600.0,
+                        metavar="SEC",
+                        help="--wait: give up after SEC seconds "
+                             "(default 3600)")
+    submit.add_argument("--output", metavar="FILE", default=None,
+                        help="--wait: also fetch the result and write its "
+                             "exact bytes to FILE")
+
+    compare = sub.add_parser(
+        "compare", help="diff two saved result files: bit-identity "
+                        "verdict, provenance check, per-scheme PSNR deltas")
+    compare.add_argument("result_a", metavar="A", help="baseline result file")
+    compare.add_argument("result_b", metavar="B", help="candidate result file")
+    compare.add_argument("--json", action="store_true", dest="as_json",
+                         help="print the report as JSON instead of text")
+    compare.add_argument("--fail-on-diff", action="store_true",
+                         help="exit 1 unless the files are byte-identical")
     return parser
 
 
@@ -212,9 +295,10 @@ def _maybe_save(result, args, command: Optional[str] = None) -> List[str]:
     lines.append(f"[manifest at {manifest_path}]")
     workspace = getattr(args, "_workspace", None)
     if workspace is not None:
-        workspace.register_run(command, results=[str(path)],
+        run_name = getattr(args, "run_name", None) or command
+        workspace.register_run(run_name, results=[str(path)],
                                manifest=manifest_path)
-        lines.append(f"[registered run {command!r} in {workspace.root}]")
+        lines.append(f"[registered run {run_name!r} in {workspace.root}]")
     return lines
 
 
@@ -236,10 +320,11 @@ def _apply_workspace(args) -> None:
     workspace = activate_workspace(root)
     args._workspace = workspace
     command = args.command
+    stem = getattr(args, "run_name", None) or command
     if command in FIGURES and getattr(args, "output", None) is None:
-        args.output = str(workspace.results_path(f"{command}.json"))
+        args.output = str(workspace.results_path(f"{stem}.json"))
     if command in SWEEP_FIGURES and getattr(args, "checkpoint", None) is None:
-        args.checkpoint = str(workspace.checkpoint_path(f"{command}.jsonl"))
+        args.checkpoint = str(workspace.checkpoint_path(f"{stem}.jsonl"))
 
 
 def _coerce_scenario_value(text: str):
@@ -336,6 +421,7 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
     budgets = {"cell_timeout": getattr(args, "cell_timeout", None),
                "deadline": getattr(args, "deadline", None)}
     workspace = getattr(args, "_workspace", None)
+    run_name = getattr(args, "run_name", None) or name
     if name == "fig3":
         rows = run_fig3(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                         jobs=jobs, workspace=workspace, **budgets)
@@ -346,12 +432,14 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
             f"{max_improvement_db(rows):.2f} dB",
         ]), sum(row.n_failed for row in rows)
     checkpoint = getattr(args, "checkpoint", None)
-    tracker = _make_tracker(args, name)
+    # Label progress lines with the run name (the job id under the
+    # service), so a shared workspace's logs identify their job.
+    tracker = _make_tracker(args, run_name)
     if name == "fig4b":
         result = run_fig4b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
                            progress=tracker, workspace=workspace,
-                           run_name=name, **budgets)
+                           run_name=run_name, **budgets)
         return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 4(b): Y-PSNR (dB) vs number of channels M"),
             format_sweep(result, value_format="M={}"),
@@ -361,7 +449,7 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
         result = run_fig4c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
                            progress=tracker, workspace=workspace,
-                           run_name=name, **budgets)
+                           run_name=run_name, **budgets)
         return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 4(c): Y-PSNR (dB) vs channel utilisation eta"),
             format_sweep(result, value_format="eta={}"),
@@ -371,7 +459,7 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
         result = run_fig6a(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
                            progress=tracker, workspace=workspace,
-                           run_name=name, **budgets)
+                           run_name=run_name, **budgets)
         return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(a): Y-PSNR (dB) vs utilisation, interfering FBSs"),
             format_sweep(result, upper_bound=True, value_format="eta={}"),
@@ -381,7 +469,7 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
         result = run_fig6b(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
                            progress=tracker, workspace=workspace,
-                           run_name=name, **budgets)
+                           run_name=run_name, **budgets)
         return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(b): Y-PSNR (dB) vs sensing errors (eps, delta)"),
             format_sweep(result, upper_bound=True, value_format="{0[0]}/{0[1]}"),
@@ -391,7 +479,7 @@ def _run_figure(name: str, args) -> Tuple[str, int]:
         result = run_fig6c(n_runs=args.runs, n_gops=args.gops, seed=args.seed,
                            checkpoint_path=checkpoint, jobs=jobs,
                            progress=tracker, workspace=workspace,
-                           run_name=name, **budgets)
+                           run_name=run_name, **budgets)
         return "\n".join(_maybe_save(result, args, command=name) + [
             _heading("Fig. 6(c): Y-PSNR (dB) vs common-channel bandwidth B0"),
             format_sweep(result, upper_bound=True, value_format="B0={}"),
@@ -481,6 +569,97 @@ def _run_workspace(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """The ``repro serve`` subcommand: run the HTTP job service."""
+    import os
+
+    from repro.serve.api import make_server, serve_forever
+    from repro.store.scenario_store import ENV_WORKSPACE
+
+    root = getattr(args, "workspace", None) or os.environ.get(ENV_WORKSPACE)
+    if not root:
+        print("serve: no workspace given "
+              "(use --workspace DIR or set REPRO_WORKSPACE)", file=sys.stderr)
+        return 2
+    server = make_server(root, host=args.host, port=args.port,
+                         job_workers=args.job_workers)
+    host, port = server.server_address[:2]
+    print(f"serving on http://{host}:{port} (workspace {root}); "
+          f"Ctrl-C to drain and stop")
+    serve_forever(server)
+    return 0
+
+
+def _run_submit(args) -> int:
+    """The ``repro submit`` subcommand: queue a job over HTTP."""
+    from repro.serve.client import ServiceClient, ServiceError
+
+    spec = {"command": args.job_command, "runs": args.runs,
+            "gops": args.gops, "seed": args.seed, "jobs": args.jobs,
+            "cell_timeout": args.cell_timeout, "deadline": args.deadline,
+            "trace": bool(args.job_trace)}
+    if args.scenario is not None:
+        spec["scenario"] = args.scenario
+    if args.scheme is not None:
+        spec["scheme"] = args.scheme
+    if args.scenario_arg:
+        spec["scenario_args"] = {}
+        for item in args.scenario_arg:
+            key, sep, value = item.partition("=")
+            if not sep or not key:
+                print(f"submit: --scenario-arg expects KEY=VALUE, "
+                      f"got {item!r}", file=sys.stderr)
+                return 2
+            spec["scenario_args"][key.replace("-", "_")] = \
+                _coerce_scenario_value(value)
+    client = ServiceClient(args.url)
+    try:
+        view = client.submit(spec, force=args.force)
+        verb = "deduplicated to" if view.deduplicated else "queued as"
+        print(f"[{verb} {view.id} ({view.state})]")
+        if not args.wait:
+            return 0
+        view = client.wait(view.id, timeout=args.timeout)
+        print(f"[{view.id} {view.state}"
+              + (f": {view.error}" if view.error else "") + "]")
+        if args.output and view.state == "succeeded":
+            from pathlib import Path
+            Path(args.output).write_bytes(client.result_bytes(view.id))
+            print(f"[result written to {args.output}]")
+    except ServiceError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 2
+    if view.state == "succeeded":
+        return 0
+    # Surface the job's own exit code (the CLI contract) when recorded,
+    # so `repro submit --wait` composes with the same CI assertions as a
+    # direct run.
+    return view.exit_code if isinstance(view.exit_code, int) \
+        and view.exit_code != 0 else 1
+
+
+def _run_compare(args) -> int:
+    """The ``repro compare`` subcommand: diff two saved result files."""
+    import json
+
+    from repro.experiments.compare import compare_results
+    from repro.utils.errors import ConfigurationError
+
+    try:
+        report = compare_results(args.result_a, args.result_b)
+    except ConfigurationError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_heading("Result comparison"))
+        print(report.format())
+    if args.fail_on_diff and not report.bit_identical:
+        return 1
+    return 0
+
+
 def _run_schemes() -> int:
     """The ``repro schemes`` listing."""
     registry = scheme_registry()
@@ -508,6 +687,12 @@ def _dispatch(args) -> int:
     """Run the parsed command (observability already configured)."""
     if args.command == "workspace":
         return _run_workspace(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "compare":
+        return _run_compare(args)
     if args.command == "schemes":
         return _run_schemes()
     if args.command == "scenarios":

@@ -24,7 +24,12 @@ from repro.exec.executor import (
     make_executor,
 )
 from repro.exec.plan import Cell, SweepPlan, ensure_picklable, plan_campaign, plan_sweep
-from repro.exec.progress import CellTiming, ProgressTracker, TimingReport
+from repro.exec.progress import (
+    CellTiming,
+    ProgressTracker,
+    TimingReport,
+    parse_progress_line,
+)
 from repro.exec.supervisor import (
     EXIT_DEADLINE,
     EXIT_FAILED_RUNS,
@@ -59,6 +64,7 @@ __all__ = [
     "backoff_delay",
     "ensure_picklable",
     "make_executor",
+    "parse_progress_line",
     "plan_campaign",
     "plan_sweep",
     "shutdown_draining",

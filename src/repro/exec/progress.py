@@ -9,6 +9,7 @@ knowing anything about terminals.
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, TextIO, Tuple
@@ -139,6 +140,52 @@ class TimingReport:
             lines.append("slowest cells  : " + "; ".join(
                 f"{t.key} {t.seconds:.2f} s" for t in slowest))
         return "\n".join(lines)
+
+
+#: One completed cell as narrated by :meth:`ProgressTracker.observe`.
+_CELL_LINE = re.compile(
+    r"^\[(?P<label>[^\]]+)\] (?P<done>\d+)/(?P<total>\d+|\?) "
+    r"(?P<key>\S+) (?P<status>ok|FAILED) (?P<seconds>\d+(?:\.\d+)?)s$")
+
+#: The resume announcement written by :meth:`ProgressTracker.begin`.
+_RESUME_LINE = re.compile(
+    r"^\[(?P<label>[^\]]+)\] resuming: (?P<cached>\d+) cell\(s\) already "
+    r"checkpointed, (?P<total>\d+) to run$")
+
+
+def parse_progress_line(line: str) -> Optional[dict]:
+    """Parse one :class:`ProgressTracker` stderr line into an event dict.
+
+    The tracker's live narration is the executor's only incremental
+    output channel, so out-of-process observers (the job service tails a
+    job's stderr log through this) recover structured telemetry from it:
+
+    * a per-cell line yields ``{"kind": "cell", "label", "done",
+      "total", "key", "ok", "seconds"}`` (``total`` is ``None`` when the
+      tracker never learned it);
+    * a resume announcement yields ``{"kind": "resume", "label",
+      "cached", "total"}``;
+    * anything else -- engine logging, blank lines, partial writes --
+      yields ``None``.
+    """
+    line = line.rstrip("\n")
+    match = _CELL_LINE.match(line)
+    if match:
+        total = match.group("total")
+        return {"kind": "cell",
+                "label": match.group("label"),
+                "done": int(match.group("done")),
+                "total": None if total == "?" else int(total),
+                "key": match.group("key"),
+                "ok": match.group("status") == "ok",
+                "seconds": float(match.group("seconds"))}
+    match = _RESUME_LINE.match(line)
+    if match:
+        return {"kind": "resume",
+                "label": match.group("label"),
+                "cached": int(match.group("cached")),
+                "total": int(match.group("total"))}
+    return None
 
 
 class ProgressTracker:

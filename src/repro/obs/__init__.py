@@ -20,10 +20,12 @@ from repro.obs.export import (
     config_fingerprint,
     prometheus_text,
     read_manifest,
+    read_metrics_snapshot,
     result_provenance,
     run_manifest,
     write_manifest,
     write_metrics,
+    write_metrics_snapshot,
 )
 from repro.obs.logging import (
     configure_logging,
@@ -51,6 +53,7 @@ from repro.obs.trace import (
     activate,
     active_tracer,
     deactivate,
+    iter_trace,
     maybe_span,
     read_trace,
 )
@@ -73,10 +76,12 @@ __all__ = [
     "format_phase_seconds",
     "get_logger",
     "global_registry",
+    "iter_trace",
     "maybe_span",
     "metrics_enabled",
     "prometheus_text",
     "read_manifest",
+    "read_metrics_snapshot",
     "read_trace",
     "reset_logging",
     "reset_metrics",
@@ -88,6 +93,7 @@ __all__ = [
     "shutdown",
     "write_manifest",
     "write_metrics",
+    "write_metrics_snapshot",
 ]
 
 #: Where :func:`shutdown` writes the Prometheus dump, set by configure().
@@ -122,13 +128,22 @@ def configure(*, trace_path: Optional[str] = None,
 def shutdown() -> None:
     """Flush and disable every surface enabled by :func:`configure`.
 
-    Writes the Prometheus dump (if a metrics path was configured),
-    closes the tracer (emitting its ``trace-summary`` line), and turns
-    metric collection off.  Safe to call when nothing was configured.
+    Writes the metrics dump (if a metrics path was configured), closes
+    the tracer (emitting its ``trace-summary`` line), and turns metric
+    collection off.  Safe to call when nothing was configured.
+
+    The metrics dump format follows the path's extension: ``*.json``
+    gets a re-absorbable JSON snapshot
+    (:func:`~repro.obs.export.write_metrics_snapshot`, which the job
+    service folds into its server-wide registry); anything else gets
+    the Prometheus text exposition.
     """
     global _metrics_path
     deactivate()
     if _metrics_path is not None:
-        write_metrics(_metrics_path, global_registry())
+        if _metrics_path.endswith(".json"):
+            write_metrics_snapshot(_metrics_path, global_registry())
+        else:
+            write_metrics(_metrics_path, global_registry())
         _metrics_path = None
     enable_metrics(False)

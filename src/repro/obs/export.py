@@ -201,3 +201,25 @@ def write_metrics(path_or_stream: Union[str, IO[str]],
     else:
         with open(path_or_stream, "w", encoding="utf-8") as handle:
             handle.write(text)
+
+
+def write_metrics_snapshot(path: Union[str, Path],
+                           registry: MetricsRegistry) -> None:
+    """Write a registry's :meth:`~MetricsRegistry.snapshot` as JSON.
+
+    The machine-readable sibling of :func:`write_metrics`: a snapshot
+    file can be folded back into another registry with
+    :meth:`MetricsRegistry.absorb` -- the same operation the executor
+    uses for worker registries -- whereas the Prometheus text form is
+    one-way.  The job service's ``/metrics`` endpoint relies on this to
+    aggregate per-job metrics without a text-format parser.  Written
+    atomically, like every other workspace artifact.
+    """
+    text = json.dumps(registry.snapshot(), indent=2, sort_keys=True)
+    atomic_write_text(Path(path), text)
+
+
+def read_metrics_snapshot(path: Union[str, Path]) -> dict:
+    """Load a snapshot written by :func:`write_metrics_snapshot`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -280,23 +280,33 @@ def maybe_span(name: str, *, kind: str = "span", **attrs: object) -> Iterator[Op
         yield span_id
 
 
-def read_trace(path: str) -> List[dict]:
-    """Parse a JSONL trace file back into a list of event dicts.
+def iter_trace(path: str) -> Iterator[dict]:
+    """Stream a JSONL trace file as parsed event dicts, one per line.
 
+    Generator form of :func:`read_trace`: only one line is ever held in
+    memory, so a consumer (e.g. the job service's trace endpoint) can
+    relay a multi-hundred-thousand-event file without loading it whole.
     Tolerates a truncated final line (crash mid-write): complete lines
-    before it are still returned.
+    before it are still yielded, then iteration stops.
     """
-    events: List[dict] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
             try:
-                events.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError:
-                break
-    return events
+                return
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a JSONL trace file back into a list of event dicts.
+
+    Eager form of :func:`iter_trace` (same truncation tolerance), kept
+    for callers that want the whole trace for analysis.
+    """
+    return list(iter_trace(path))
 
 
 atexit.register(deactivate)

@@ -1,0 +1,291 @@
+"""Stdlib HTTP front end over :class:`~repro.serve.jobs.JobManager`.
+
+A deliberately small, dependency-free service: ``ThreadingHTTPServer``
+plus hand-routed JSON endpoints.  The contract (all JSON unless noted):
+
+====== ================================== ===============================
+Method Path                               Meaning
+====== ================================== ===============================
+GET    /healthz                           liveness + job-state counts
+GET    /api/schemes                       registered allocation schemes
+GET    /api/scenarios                     registered scenario generators
+POST   /api/jobs                          submit a job spec (201; 200
+                                          with ``deduplicated: true``
+                                          when an equivalent job exists;
+                                          ``{"force": true}`` bypasses)
+GET    /api/jobs                          list job records
+GET    /api/jobs/<id>                     one job record
+POST   /api/jobs/<id>/cancel              two-stage cancel
+GET    /api/jobs/<id>/events?since=N      parsed progress events + next
+                                          poll index
+GET    /api/jobs/<id>/result              the result artifact, byte for
+                                          byte as the CLI wrote it
+GET    /api/jobs/<id>/manifest            the provenance manifest sidecar
+GET    /api/jobs/<id>/trace               the span trace, streamed as
+                                          ``application/x-ndjson``
+GET    /api/jobs/<id>/log                 the job's stderr log (text)
+GET    /metrics                           Prometheus text: server job
+                                          counters + absorbed per-job
+                                          worker registries
+====== ================================== ===============================
+
+The result endpoint reads the artifact's raw bytes off disk -- it never
+re-serialises -- which is what makes the service's byte-identity
+guarantee trivially auditable.  The trace endpoint re-emits events one
+line at a time through :func:`repro.obs.trace.iter_trace`, so even a
+200k-event trace never materialises in server memory.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlsplit
+
+from repro import __version__
+from repro.obs.export import prometheus_text
+from repro.obs.logging import get_logger
+from repro.obs.trace import iter_trace
+from repro.serve.jobs import JobError, JobManager
+from repro.store.workspace import FileWorkspace
+
+logger = get_logger(__name__)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP server, carrying the shared :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], manager: JobManager) -> None:
+        super().__init__(address, _Handler)
+        self.manager = manager
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceServer
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    # -- response helpers ----------------------------------------------
+
+    def _send_json(self, payload: object, status: int = 200) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _send_file(self, path: Path, content_type: str) -> None:
+        try:
+            body = path.read_bytes()
+        except OSError:
+            self._send_error_json(404, f"artifact {path.name} not available "
+                                       f"(job still running?)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_ndjson(self, path: Path) -> None:
+        """Stream a JSONL artifact event by event (chunked transfer)."""
+        if not path.exists():
+            self._send_error_json(404, f"artifact {path.name} not available "
+                                       f"(job still running?)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        for event in iter_trace(str(path)):
+            line = json.dumps(event, separators=(",", ":")).encode("utf-8") \
+                + b"\n"
+            self.wfile.write(f"{len(line):x}\r\n".encode("ascii"))
+            self.wfile.write(line + b"\r\n")
+        self.wfile.write(b"0\r\n\r\n")
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise JobError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise JobError("request body must be a JSON object")
+        return payload
+
+    def log_message(self, format: str, *args: object) -> None:
+        logger.info("serve: %s %s", self.address_string(), format % args)
+
+    # -- routing -------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        manager = self.server.manager
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if url.path == "/healthz":
+                counts: dict = {}
+                for record in manager.jobs():
+                    state = record.get("state", "?")
+                    counts[state] = counts.get(state, 0) + 1
+                self._send_json({"status": "ok", "version": __version__,
+                                 "jobs": counts})
+            elif url.path == "/metrics":
+                text = prometheus_text(manager.metrics_registry())
+                body = text.encode("utf-8")
+                self.send_response(200)
+                self.send_header("Content-Type",
+                                 "text/plain; version=0.0.4")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+            elif url.path == "/api/schemes":
+                from repro.registry import scheme_registry
+
+                self._send_json({"schemes": [
+                    {"name": info.name, "flags": list(info.flags),
+                     "description": info.description}
+                    for info in scheme_registry()]})
+            elif url.path == "/api/scenarios":
+                from repro.registry import scenario_registry
+
+                self._send_json({"scenarios": [
+                    {"name": info.name, "description": info.description}
+                    for info in scenario_registry()]})
+            elif url.path == "/api/jobs":
+                self._send_json({"jobs": manager.jobs()})
+            elif len(parts) == 3 and parts[:2] == ["api", "jobs"]:
+                self._send_json(manager.get(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ["api", "jobs"]:
+                self._get_job_artifact(parts[2], parts[3], url.query)
+            else:
+                self._send_error_json(404, f"unknown path {url.path!r}")
+        except JobError as exc:
+            self._send_error_json(404, str(exc))
+        except BrokenPipeError:
+            pass
+
+    def _get_job_artifact(self, job_id: str, what: str, query: str) -> None:
+        manager = self.server.manager
+        if what == "events":
+            since = 0
+            values = parse_qs(query).get("since")
+            if values:
+                try:
+                    since = int(values[0])
+                except ValueError:
+                    self._send_error_json(400, "since must be an integer")
+                    return
+            events, next_index = manager.events(job_id, since)
+            self._send_json({"events": events, "next": next_index})
+        elif what == "result":
+            record = manager.get(job_id)
+            # A simulate campaign's "result" is its formatted stdout
+            # report; figures produce a JSON result file.
+            if "result" in record.get("artifacts", {}):
+                self._send_file(manager.artifact_path(job_id, "result"),
+                                "application/json")
+            else:
+                self._send_file(manager.artifact_path(job_id, "stdout"),
+                                "text/plain; charset=utf-8")
+        elif what == "manifest":
+            self._send_file(manager.artifact_path(job_id, "manifest"),
+                            "application/json")
+        elif what == "trace":
+            self._send_ndjson(manager.artifact_path(job_id, "trace"))
+        elif what == "log":
+            self._send_file(manager.artifact_path(job_id, "log"),
+                            "text/plain; charset=utf-8")
+        else:
+            self._send_error_json(404, f"unknown job resource {what!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        manager = self.server.manager
+        url = urlsplit(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if url.path == "/api/jobs":
+                body = self._read_body()
+                force = bool(body.pop("force", False))
+                record, deduplicated = manager.submit(body, force=force)
+                payload = dict(record)
+                payload["deduplicated"] = deduplicated
+                self._send_json(payload, status=200 if deduplicated else 201)
+            elif (len(parts) == 4 and parts[:2] == ["api", "jobs"]
+                    and parts[3] == "cancel"):
+                self._send_json(manager.cancel(parts[2]))
+            else:
+                self._send_error_json(404, f"unknown path {url.path!r}")
+        except JobError as exc:
+            status = 404 if "unknown job" in str(exc) else 400
+            self._send_error_json(status, str(exc))
+        except BrokenPipeError:
+            pass
+
+
+def make_server(workspace: Union[str, Path, FileWorkspace], *,
+                host: str = "127.0.0.1", port: int = 8765,
+                job_workers: int = 2) -> ServiceServer:
+    """Build (but do not start) a service over one workspace.
+
+    The manager's worker pool is started -- and persisted jobs
+    recovered -- by :func:`serve_forever` or an explicit
+    ``server.manager.start()``; binding is immediate, so ``port=0``
+    (tests) can read the chosen port from ``server.server_address``.
+    """
+    manager = JobManager(workspace, job_workers=job_workers)
+    return ServiceServer((host, port), manager)
+
+
+def serve_forever(server: ServiceServer,
+                  should_stop: Optional[Callable[[], bool]] = None) -> None:
+    """Run a server until interrupted, then drain and stop.
+
+    Recovery of persisted jobs happens first, so restarting a crashed
+    server resumes its interrupted sweeps before accepting new traffic.
+    ``should_stop`` is polled a few times a second; it defaults to
+    :func:`repro.exec.supervisor.shutdown_draining`, so the CLI's
+    two-stage SIGINT/SIGTERM coordinator (whose stage-1 handler only
+    sets a flag) stops the accept loop cleanly.  Running jobs get a
+    graceful SIGTERM and return to ``queued`` for the next server life.
+    """
+    from repro.exec.supervisor import shutdown_draining
+
+    if should_stop is None:
+        should_stop = shutdown_draining
+    resumed = server.manager.start()
+    host, port = server.server_address[:2]
+    logger.info("serve: listening on %s:%d (%d job worker(s), workspace %s)",
+                host, port, server.manager.job_workers,
+                server.manager.workspace.root)
+    if resumed:
+        logger.info("serve: resumed %d interrupted job(s)", len(resumed))
+    accept_thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.2},
+        name="repro-serve-accept", daemon=True)
+    accept_thread.start()
+    try:
+        while accept_thread.is_alive() and not should_stop():
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        accept_thread.join(timeout=5.0)
+        server.manager.stop(graceful=True)
+        server.server_close()
+        logger.info("serve: stopped")

@@ -1,0 +1,187 @@
+"""Thin typed client for the job service (stdlib ``urllib`` only).
+
+Used by the ``repro submit`` CLI and by tests; any HTTP client works
+against the same contract (see :mod:`repro.serve.api` for the endpoint
+table).  Every error response -- a 4xx with a JSON ``{"error": ...}``
+body -- surfaces as a :class:`ServiceError` carrying the server's
+message and status code, so callers never parse HTML tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+#: Default submit/poll cadence of :meth:`ServiceClient.wait`, seconds.
+DEFAULT_POLL_SECONDS = 0.5
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with its message and status."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class JobView:
+    """A typed view over one job record as returned by the API.
+
+    ``record`` keeps the full payload for anything the named fields
+    don't cover (timestamps, artifact paths, resumed count...).
+    """
+
+    id: str
+    state: str
+    spec: Dict[str, object]
+    spec_hash: str
+    exit_code: Optional[int]
+    error: Optional[str]
+    deduplicated: bool
+    record: Dict[str, object]
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.state in ("succeeded", "failed", "cancelled")
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "JobView":
+        return cls(
+            id=str(record.get("id")),
+            state=str(record.get("state")),
+            spec=dict(record.get("spec") or {}),
+            spec_hash=str(record.get("spec_hash", "")),
+            exit_code=record.get("exit_code"),
+            error=record.get("error"),
+            deduplicated=bool(record.get("deduplicated", False)),
+            record=dict(record),
+        )
+
+
+class ServiceClient:
+    """Client bound to one service base URL (e.g. ``http://host:8765``)."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> bytes:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(self.base_url + path, data=data, headers=headers,
+                          method=method)
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read()
+        except HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace") or str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: "
+                f"{exc.reason}") from exc
+
+    def _json(self, method: str, path: str,
+              body: Optional[dict] = None) -> dict:
+        return json.loads(self._request(method, path, body).decode("utf-8"))
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> dict:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")
+
+    def schemes(self) -> List[dict]:
+        """``GET /api/schemes``."""
+        return self._json("GET", "/api/schemes")["schemes"]
+
+    def scenarios(self) -> List[dict]:
+        """``GET /api/scenarios``."""
+        return self._json("GET", "/api/scenarios")["scenarios"]
+
+    def submit(self, spec: dict, *, force: bool = False) -> JobView:
+        """``POST /api/jobs``: queue a job (or hit the dedup cache)."""
+        body = dict(spec)
+        if force:
+            body["force"] = True
+        return JobView.from_record(self._json("POST", "/api/jobs", body))
+
+    def jobs(self) -> List[JobView]:
+        """``GET /api/jobs``."""
+        return [JobView.from_record(record)
+                for record in self._json("GET", "/api/jobs")["jobs"]]
+
+    def job(self, job_id: str) -> JobView:
+        """``GET /api/jobs/<id>``."""
+        return JobView.from_record(self._json("GET", f"/api/jobs/{job_id}"))
+
+    def cancel(self, job_id: str) -> JobView:
+        """``POST /api/jobs/<id>/cancel`` (two-stage, like Ctrl-C)."""
+        return JobView.from_record(
+            self._json("POST", f"/api/jobs/{job_id}/cancel"))
+
+    def events(self, job_id: str, since: int = 0) -> Tuple[List[dict], int]:
+        """``GET /api/jobs/<id>/events``: progress events + next index."""
+        payload = self._json("GET",
+                             f"/api/jobs/{job_id}/events?since={int(since)}")
+        return payload["events"], payload["next"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /api/jobs/<id>/result``: the artifact, byte for byte."""
+        return self._request("GET", f"/api/jobs/{job_id}/result")
+
+    def manifest(self, job_id: str) -> dict:
+        """``GET /api/jobs/<id>/manifest``: the provenance sidecar."""
+        return self._json("GET", f"/api/jobs/{job_id}/manifest")
+
+    def trace_events(self, job_id: str) -> Iterator[dict]:
+        """``GET /api/jobs/<id>/trace``: parsed span events."""
+        raw = self._request("GET", f"/api/jobs/{job_id}/trace")
+        for line in raw.decode("utf-8").splitlines():
+            if line.strip():
+                yield json.loads(line)
+
+    def log_text(self, job_id: str) -> str:
+        """``GET /api/jobs/<id>/log``: the job's stderr log."""
+        return self._request("GET", f"/api/jobs/{job_id}/log") \
+            .decode("utf-8", "replace")
+
+    def metrics_text(self) -> str:
+        """``GET /metrics``: the Prometheus exposition."""
+        return self._request("GET", "/metrics").decode("utf-8")
+
+    # -- conveniences --------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: float = 600.0,
+             poll: float = DEFAULT_POLL_SECONDS) -> JobView:
+        """Poll until the job reaches a terminal state.
+
+        Raises :class:`ServiceError` when ``timeout`` expires first (the
+        job keeps running server-side; this only abandons the wait).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(job_id)
+            if view.done:
+                return view
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for {job_id} "
+                    f"(still {view.state})")
+            time.sleep(poll)

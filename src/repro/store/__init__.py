@@ -11,7 +11,7 @@ Three layers (DESIGN.md §14):
   :func:`build_scenario`/:func:`run_scenario` as the split entry points;
 * :mod:`repro.store.workspace` -- :class:`FileWorkspace`, the managed
   on-disk layout (scenarios/, results/, checkpoints/, traces/,
-  manifests/) with an atomic JSON index and garbage collection.
+  manifests/, jobs/) with an atomic JSON index and garbage collection.
 """
 
 from repro.sim.build import BuiltScenario, build_scenario
@@ -34,9 +34,10 @@ from repro.store.scenario_store import (
     store_enabled,
     use_store,
 )
-from repro.store.workspace import FileWorkspace
+from repro.store.workspace import ACTIVE_JOB_STATES, FileWorkspace
 
 __all__ = [
+    "ACTIVE_JOB_STATES",
     "BuiltScenario",
     "FileWorkspace",
     "ScenarioStore",

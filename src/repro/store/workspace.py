@@ -9,6 +9,7 @@ A :class:`FileWorkspace` gives every run a predictable home::
       checkpoints/    -- sweep checkpoints (resume state)
       traces/         -- execution traces (--trace)
       manifests/      -- run manifests (--manifest)
+      jobs/           -- job-service records and per-job logs (repro serve)
 
 Scenario artifacts are content-addressed by
 :func:`~repro.store.confighash.scenario_hash`, so concurrent writers of
@@ -19,10 +20,11 @@ leaves a half-written index or artifact behind.
 
 The index maps run names to their files and the scenario hashes they
 used; :meth:`FileWorkspace.gc` reclaims scenario artifacts using it --
-an artifact is *protected* exactly when some registered run still has a
-live checkpoint that references it (resuming that checkpoint must not
-have to rebuild), and runs whose files have all vanished are pruned
-from the index.  The CLI surfaces this as ``repro workspace
+an artifact is *protected* when some registered run still has a live
+checkpoint that references it (resuming that checkpoint must not have
+to rebuild), or when an active job record (queued/building/running,
+see ``jobs/``) references it, and runs whose files have all vanished
+are pruned from the index.  The CLI surfaces this as ``repro workspace
 list|inspect|gc``.
 """
 
@@ -46,7 +48,13 @@ INDEX_NAME = "index.json"
 INDEX_FORMAT_VERSION = 1
 
 #: Managed subdirectories, created eagerly so every path helper works.
-SUBDIRS = ("scenarios", "results", "checkpoints", "traces", "manifests")
+SUBDIRS = ("scenarios", "results", "checkpoints", "traces", "manifests",
+           "jobs")
+
+#: Job-record states that still need their inputs: a job in one of these
+#: states has not produced (or finished producing) its results, so gc
+#: must not reclaim the scenario artifacts it references.
+ACTIVE_JOB_STATES = frozenset({"queued", "building", "running"})
 
 #: Index-entry fields accumulated as lists across repeated registrations
 #: (a figure run may save several result files into one entry).
@@ -91,6 +99,10 @@ class FileWorkspace:
     def manifest_path(self, name: str) -> Path:
         """A manifest file under ``manifests/``."""
         return self.root / "manifests" / name
+
+    def job_path(self, job_id: str) -> Path:
+        """The persistent record of one service job under ``jobs/``."""
+        return self.root / "jobs" / f"{job_id}.json"
 
     def _relative(self, path: Union[str, Path]) -> str:
         """Index representation of a path: relative when inside the root.
@@ -235,22 +247,67 @@ class FileWorkspace:
         return {"name": name, "entry": entry, "files": files}
 
     # ------------------------------------------------------------------
+    # Job records
+    # ------------------------------------------------------------------
+    def save_job(self, record: dict) -> Path:
+        """Persist one job record (atomic; ``record["id"]`` names it).
+
+        The job service (:mod:`repro.serve.jobs`) writes a record on
+        every state transition, so a crashed server can be restarted
+        against the same workspace and pick its jobs back up.
+        """
+        job_id = record.get("id")
+        if not job_id:
+            raise ConfigurationError("job record must carry an 'id' field")
+        path = self.job_path(str(job_id))
+        atomic_write_text(
+            path, json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def job_records(self) -> Dict[str, dict]:
+        """All persisted job records, ``{job id: record}``.
+
+        Unreadable files (torn by a crash before atomic writes existed,
+        or foreign junk in ``jobs/``) are skipped with a warning rather
+        than wedging every job listing.
+        """
+        records: Dict[str, dict] = {}
+        for path in sorted((self.root / "jobs").glob("*.json")):
+            try:
+                record = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError) as exc:
+                logger.warning("workspace: skipping unreadable job record "
+                               "%s (%s)", path.name, exc)
+                continue
+            if isinstance(record, dict) and record.get("id"):
+                records[str(record["id"])] = record
+        return records
+
+    # ------------------------------------------------------------------
     # Garbage collection
     # ------------------------------------------------------------------
     def gc(self, *, dry_run: bool = False) -> dict:
         """Reclaim unreferenced scenario artifacts and stale run entries.
 
-        Protection rule: a scenario artifact survives exactly when some
+        Protection rule: a scenario artifact survives when some
         registered run lists its hash *and* that run's checkpoint file
         still exists -- a live checkpoint may be resumed, and the
-        resume should find its warmed build.  Run entries whose
-        checkpoint and results have all been deleted are pruned from
-        the index.  With ``dry_run`` nothing is deleted; the report
-        shows what would happen.
+        resume should find its warmed build -- **or** when an active
+        (queued/building/running) job record references it: a queued
+        job has not touched its checkpoint yet, so without this a gc
+        racing a busy job service would delete inputs the job is about
+        to need.  Run entries whose checkpoint and results have all
+        been deleted are pruned from the index.  With ``dry_run``
+        nothing is deleted; the report shows what would happen.
         """
         index = self._read_index()
         protected = set()
         pruned_runs: List[str] = []
+        active_jobs: List[str] = []
+        for job_id, record in self.job_records().items():
+            if record.get("state") in ACTIVE_JOB_STATES:
+                active_jobs.append(job_id)
+                protected.update(record.get("scenario_hashes", []))
         for name in sorted(index["runs"]):
             entry = index["runs"][name]
             checkpoint = entry.get("checkpoint")
@@ -260,7 +317,8 @@ class FileWorkspace:
                                 for recorded in entry.get("results", []))
             if checkpoint_alive:
                 protected.update(entry.get("scenario_hashes", []))
-            if not checkpoint_alive and not results_alive:
+            if (not checkpoint_alive and not results_alive
+                    and name not in active_jobs):
                 pruned_runs.append(name)
         removed: List[str] = []
         kept: List[str] = []
@@ -284,4 +342,5 @@ class FileWorkspace:
             "removed_scenarios": removed,
             "kept_scenarios": kept,
             "pruned_runs": pruned_runs,
+            "active_jobs": sorted(active_jobs),
         }

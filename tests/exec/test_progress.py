@@ -2,9 +2,16 @@
 
 import io
 
+import pytest
+
 from repro.exec.executor import CellOutcome, SerialExecutor
 from repro.exec.plan import Cell, plan_campaign
-from repro.exec.progress import CellTiming, ProgressTracker, TimingReport
+from repro.exec.progress import (
+    CellTiming,
+    ProgressTracker,
+    TimingReport,
+    parse_progress_line,
+)
 from repro.sim.metrics import FailedRun
 
 
@@ -135,3 +142,50 @@ class TestTimingReport:
         report = TimingReport(timings=(), wall_seconds=0.0)
         assert report.effective_parallelism == 0.0
         assert "wall clock" in report.format()
+
+
+class TestParseProgressLine:
+    """The service tails job logs through this parser; it must stay in
+    lock-step with the tracker's narration format."""
+
+    def test_cell_line(self):
+        event = parse_progress_line("[job-0001] 3/15 proposed|2|0 ok 0.41s\n")
+        assert event == {"kind": "cell", "label": "job-0001", "done": 3,
+                         "total": 15, "key": "proposed|2|0", "ok": True,
+                         "seconds": 0.41}
+
+    def test_failed_cell_line(self):
+        event = parse_progress_line("[t] 2/2 heuristic1|0|1 FAILED 1.00s")
+        assert event["ok"] is False
+
+    def test_unknown_total_parses_as_none(self):
+        event = parse_progress_line("[t] 4/? heuristic1|0|0 ok 0.10s")
+        assert event["total"] is None
+
+    def test_resume_line(self):
+        event = parse_progress_line(
+            "[fig4b] resuming: 12 cell(s) already checkpointed, 18 to run")
+        assert event == {"kind": "resume", "label": "fig4b", "cached": 12,
+                         "total": 18}
+
+    @pytest.mark.parametrize("noise", [
+        "", "\n", "plain engine logging",
+        "[t] resuming badly", "[t] 3/x scheme ok 0.1s",
+        "  [t] 1/2 scheme|0|0 ok 0.10s",  # leading junk: not a tracker line
+    ])
+    def test_noise_yields_none(self, noise):
+        assert parse_progress_line(noise) is None
+
+    def test_round_trips_the_trackers_own_narration(self, single_config):
+        stream = io.StringIO()
+        tracker = ProgressTracker(stream=stream, label="rt")
+        tracker.begin(2, cached=1)
+        tracker.observe(make_outcome(single_config, run_index=0))
+        tracker.observe(make_outcome(single_config, run_index=1, failed=True))
+        events = [parse_progress_line(line)
+                  for line in stream.getvalue().splitlines()]
+        assert [e["kind"] for e in events if e] == ["resume", "cell", "cell"]
+        resume, ok_cell, failed_cell = events
+        assert resume["cached"] == 1
+        assert ok_cell["ok"] is True and ok_cell["done"] == 1
+        assert failed_cell["ok"] is False and failed_cell["total"] == 2

@@ -1,0 +1,160 @@
+"""compare_results: bit identity, provenance, and per-scheme deltas."""
+
+import json
+
+import pytest
+
+from repro.experiments.compare import PROVENANCE_KEYS, compare_results
+from repro.utils.errors import ConfigurationError
+
+
+def sweep_payload(*, mean=30.0, seed=7, schemes=("heuristic1", "proposed"),
+                  points=3):
+    return {
+        "kind": "sweep",
+        "parameter": "n_channels",
+        "values": list(range(points)),
+        "provenance": {"seed": seed, "backend": "numpy",
+                       "acceleration": "none", "scenario_hash": "aaa",
+                       "config_hash": "bbb"},
+        "summaries": {
+            scheme: [{"mean_psnr": {"mean": mean + index}}
+                     for index in range(points)]
+            for scheme in schemes
+        },
+    }
+
+
+def fig3_payload(*, psnr=31.0, seed=7):
+    return {
+        "kind": "fig3",
+        "provenance": {"seed": seed, "backend": "numpy"},
+        "rows": [{"scheme": "proposed",
+                  "per_user_psnr": {"0": {"mean": psnr},
+                                    "1": {"mean": psnr + 2.0}}}],
+    }
+
+
+def write(path, payload):
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+class TestBitIdentity:
+    def test_identical_files_short_circuit(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload())
+        b = write(tmp_path / "b.json", sweep_payload())
+        report = compare_results(a, b)
+        assert report.bit_identical is True
+        assert report.provenance_agrees is True
+        assert report.max_abs_delta == 0.0
+        assert report.format().splitlines()[-1] == "bit-identical  : yes"
+
+    def test_whitespace_difference_breaks_bit_identity(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload())
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(sweep_payload(), sort_keys=True))
+        report = compare_results(a, b)
+        assert report.bit_identical is False
+        assert report.max_abs_delta == 0.0  # numerically still equal
+
+
+class TestSchemeDeltas:
+    def test_per_point_deltas_are_b_minus_a(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload(mean=30.0))
+        b = write(tmp_path / "b.json", sweep_payload(mean=30.5))
+        report = compare_results(a, b)
+        assert report.bit_identical is False
+        assert report.provenance_agrees is True
+        deltas = {d.scheme: d.deltas for d in report.scheme_deltas}
+        assert set(deltas) == {"heuristic1", "proposed"}
+        assert all(abs(value - 0.5) < 1e-12
+                   for values in deltas.values() for value in values)
+        assert abs(report.max_abs_delta - 0.5) < 1e-12
+        assert "max |delta|" in report.format()
+
+    def test_schemes_missing_from_one_side_are_reported(self, tmp_path):
+        a = write(tmp_path / "a.json",
+                  sweep_payload(schemes=("heuristic1", "proposed")))
+        b = write(tmp_path / "b.json",
+                  sweep_payload(schemes=("proposed", "greedy")))
+        report = compare_results(a, b)
+        assert report.only_in_a == ("heuristic1",)
+        assert report.only_in_b == ("greedy",)
+
+    def test_point_count_mismatch_compares_the_overlap(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload(points=3))
+        b = write(tmp_path / "b.json", sweep_payload(points=5))
+        report = compare_results(a, b)
+        proposed = next(d for d in report.scheme_deltas
+                        if d.scheme == "proposed")
+        assert len(proposed.deltas) == 3
+        assert any("overlap" in note for note in report.notes)
+
+    def test_fig3_files_compare_their_user_means(self, tmp_path):
+        a = write(tmp_path / "a.json", fig3_payload(psnr=31.0))
+        b = write(tmp_path / "b.json", fig3_payload(psnr=32.0))
+        report = compare_results(a, b)
+        delta, = report.scheme_deltas
+        assert delta.scheme == "proposed"
+        assert delta.deltas == (1.0,)
+
+    def test_kind_mismatch_skips_numeric_comparison(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload())
+        b = write(tmp_path / "b.json", fig3_payload())
+        report = compare_results(a, b)
+        assert (report.kind_a, report.kind_b) == ("sweep", "fig3")
+        assert report.scheme_deltas == ()
+        assert "numeric comparison skipped" in report.format()
+
+
+class TestProvenance:
+    def test_seed_mismatch_is_flagged(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload(seed=7))
+        b = write(tmp_path / "b.json", sweep_payload(seed=8))
+        report = compare_results(a, b)
+        assert report.provenance_mismatches == ("seed",)
+        assert report.provenance_agrees is False
+        assert "MISMATCH" in report.format()
+
+    def test_missing_provenance_is_a_note_not_a_mismatch(self, tmp_path):
+        payload = sweep_payload()
+        del payload["provenance"]
+        a = write(tmp_path / "a.json", payload)
+        b = write(tmp_path / "b.json", sweep_payload())
+        report = compare_results(a, b)
+        assert report.provenance_mismatches == ()
+        assert any("no provenance" in note for note in report.notes)
+
+    def test_every_provenance_key_is_checked(self, tmp_path):
+        base = sweep_payload()
+        a = write(tmp_path / "a.json", base)
+        perturbed = sweep_payload()
+        for key in PROVENANCE_KEYS:
+            perturbed["provenance"][key] = "changed"
+        b = write(tmp_path / "b.json", perturbed)
+        report = compare_results(a, b)
+        assert set(report.provenance_mismatches) == set(PROVENANCE_KEYS)
+
+
+class TestErrorsAndSerialisation:
+    def test_missing_file_raises(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload())
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            compare_results(a, tmp_path / "nope.json")
+
+    def test_invalid_json_raises(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload())
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            compare_results(a, bad)
+
+    def test_to_dict_is_json_serialisable(self, tmp_path):
+        a = write(tmp_path / "a.json", sweep_payload(mean=30.0))
+        b = write(tmp_path / "b.json", sweep_payload(mean=31.0))
+        payload = compare_results(a, b).to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["bit_identical"] is False
+        assert round_tripped["provenance_agrees"] is True
+        assert round_tripped["scheme_deltas"]["proposed"] == [1.0, 1.0, 1.0]

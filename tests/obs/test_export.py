@@ -15,9 +15,11 @@ from repro.obs.export import (
     prometheus_text,
     read_manifest,
     result_provenance,
+    read_metrics_snapshot,
     run_manifest,
     write_manifest,
     write_metrics,
+    write_metrics_snapshot,
 )
 from repro.obs.metrics import MetricsRegistry
 
@@ -183,3 +185,48 @@ class TestResultProvenance:
         header = read_provenance(path)
         assert header["seed"] is None
         assert "backend" in header and "acceleration" in header
+
+
+class TestMetricsSnapshot:
+    """JSON snapshots are the cross-process metrics hand-off: a job
+    writes one at shutdown, the service absorbs it losslessly."""
+
+    def populated_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_cells_total", status="ok").inc(3)
+        registry.gauge("repro_inflight").set(2)
+        registry.histogram("repro_cell_seconds",
+                           buckets=(0.5, 1.0)).observe(0.7)
+        return registry
+
+    def test_round_trip_absorbs_losslessly(self, tmp_path):
+        source = self.populated_registry()
+        path = tmp_path / "m.json"
+        write_metrics_snapshot(path, source)
+        target = MetricsRegistry()
+        target.absorb(read_metrics_snapshot(path))
+        assert prometheus_text(target) == prometheus_text(source)
+
+    def test_absorbing_twice_doubles_counters(self, tmp_path):
+        path = tmp_path / "m.json"
+        write_metrics_snapshot(path, self.populated_registry())
+        target = MetricsRegistry()
+        target.absorb(read_metrics_snapshot(path))
+        target.absorb(read_metrics_snapshot(path))
+        assert target.counters()['repro_cells_total{status="ok"}'] == 6
+
+    def test_obs_shutdown_picks_format_by_extension(self, tmp_path):
+        import json as jsonlib
+
+        from repro import obs
+        for name, is_json in (("dump.json", True), ("dump.prom", False)):
+            path = tmp_path / name
+            obs.configure(metrics_path=str(path))
+            obs.global_registry().counter("repro_demo_total").inc()
+            obs.shutdown()
+            text = path.read_text()
+            if is_json:
+                assert jsonlib.loads(text)["counters"][
+                    "repro_demo_total"] == 1
+            else:
+                assert "# TYPE repro_demo_total counter" in text

@@ -11,6 +11,7 @@ from repro.obs.trace import (
     activate,
     active_tracer,
     deactivate,
+    iter_trace,
     maybe_span,
     read_trace,
 )
@@ -247,3 +248,32 @@ class TestWireFormat:
             assert " " not in line  # separators=(",", ":") -- compact
             record = json.loads(line)
             assert {"kind", "name", "span", "parent", "pid", "t"} <= set(record)
+
+
+class TestIterTrace:
+    """Streaming reads: the service's trace endpoint re-emits events
+    one at a time through this, so it must stay lazy and tolerant."""
+
+    def test_is_a_lazy_generator(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("run", kind="run"):
+            pass
+        tracer.close()
+        iterator = iter_trace(tracer.path)
+        assert iter(iterator) is iterator  # generator, not a list
+        first = next(iterator)
+        assert first["name"] == "run"
+
+    def test_matches_read_trace(self, tmp_path):
+        tracer = SpanTracer(str(tmp_path / "t.jsonl"))
+        with tracer.span("a", kind="run"):
+            tracer.event("b")
+        tracer.close()
+        assert list(iter_trace(tracer.path)) == read_trace(tracer.path)
+
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(json.dumps({"name": "kept", "kind": "span"}) + "\n"
+                        + '{"name": "torn", "ki')
+        events = list(iter_trace(str(path)))
+        assert [e["name"] for e in events] == ["kept"]

@@ -157,3 +157,64 @@ class TestGc:
         workspace.save_scenario(built)
         report = workspace.gc()
         assert report["removed_scenarios"] == [built.scenario_hash]
+
+
+class TestJobRecords:
+    def job(self, job_id="job-0001", state="queued", **fields):
+        return {"id": job_id, "state": state, "spec": {"command": "fig4b"},
+                **fields}
+
+    def test_save_and_list_round_trip(self, workspace):
+        workspace.save_job(self.job())
+        workspace.save_job(self.job("job-0002", state="running"))
+        records = workspace.job_records()
+        assert sorted(records) == ["job-0001", "job-0002"]
+        assert records["job-0002"]["state"] == "running"
+        assert workspace.job_path("job-0001").parent.name == "jobs"
+
+    def test_save_requires_an_id(self, workspace):
+        with pytest.raises(ConfigurationError, match="id"):
+            workspace.save_job({"state": "queued"})
+
+    def test_save_overwrites_atomically(self, workspace):
+        workspace.save_job(self.job(state="queued"))
+        workspace.save_job(self.job(state="succeeded"))
+        assert workspace.job_records()["job-0001"]["state"] == "succeeded"
+
+    def test_unreadable_records_are_skipped(self, workspace):
+        workspace.save_job(self.job())
+        (workspace.root / "jobs" / "torn.json").write_text("{broken")
+        (workspace.root / "jobs" / "junk.json").write_text('"not a record"')
+        assert sorted(workspace.job_records()) == ["job-0001"]
+
+
+class TestGcJobProtection:
+    def job(self, job_id, state, hashes):
+        return {"id": job_id, "state": state, "scenario_hashes": hashes}
+
+    def test_active_job_protects_its_scenarios(self, workspace, built):
+        workspace.save_scenario(built)
+        workspace.save_job(self.job("job-0001", "queued",
+                                    [built.scenario_hash]))
+        report = workspace.gc()
+        assert report["active_jobs"] == ["job-0001"]
+        assert report["kept_scenarios"] == [built.scenario_hash]
+        assert workspace.scenario_path(built.scenario_hash).exists()
+
+    def test_terminal_job_releases_its_scenarios(self, workspace, built):
+        workspace.save_scenario(built)
+        workspace.save_job(self.job("job-0001", "succeeded",
+                                    [built.scenario_hash]))
+        report = workspace.gc()
+        assert report["active_jobs"] == []
+        assert report["removed_scenarios"] == [built.scenario_hash]
+
+    def test_active_jobs_run_entry_survives_dead_files(self, workspace):
+        # A recovering job's registry entry must not be pruned while the
+        # job is queued behind a dead checkpoint (it will recreate it).
+        workspace.register_run(
+            "job-0001", checkpoint=workspace.checkpoint_path("gone.jsonl"))
+        workspace.save_job(self.job("job-0001", "queued", []))
+        report = workspace.gc()
+        assert report["pruned_runs"] == []
+        assert "job-0001" in workspace.entries()

@@ -170,3 +170,125 @@ class TestExitCodes:
         main(["fig4b", "--runs", "1"])
         assert signal.getsignal(signal.SIGINT) == before_int
         assert signal.getsignal(signal.SIGTERM) == before_term
+
+
+class TestServiceParsers:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--workspace", "ws"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.job_workers == 2
+
+    def test_submit_parser_defaults(self):
+        args = build_parser().parse_args(["submit", "fig4b"])
+        assert args.job_command == "fig4b"
+        assert args.url == "http://127.0.0.1:8765"
+        assert args.wait is False
+        assert args.force is False
+        assert args.job_trace is False
+
+    def test_submit_accepts_scenario_options(self):
+        args = build_parser().parse_args(
+            ["submit", "simulate", "--scenario", "city-grid",
+             "--scenario-arg", "n-fbss=4", "--job-trace", "--wait"])
+        assert args.scenario == "city-grid"
+        assert args.scenario_arg == ["n-fbss=4"]
+        assert args.job_trace is True
+
+    def test_compare_parser(self):
+        args = build_parser().parse_args(
+            ["compare", "a.json", "b.json", "--json", "--fail-on-diff"])
+        assert args.result_a == "a.json"
+        assert args.result_b == "b.json"
+        assert args.as_json is True
+        assert args.fail_on_diff is True
+
+    def test_run_name_accepted_by_figures(self):
+        args = build_parser().parse_args(
+            ["fig4b", "--runs", "1", "--run-name", "job-0042"])
+        assert args.run_name == "job-0042"
+
+
+class TestServiceExecution:
+    def test_serve_without_workspace_exits_2(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKSPACE", raising=False)
+        assert main(["serve"]) == 2
+        assert "no workspace" in capsys.readouterr().err
+
+    def test_submit_unreachable_service_exits_2(self, capsys):
+        assert main(["submit", "fig4b", "--url", "http://127.0.0.1:1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_submit_bad_scenario_arg_exits_2(self, capsys):
+        assert main(["submit", "simulate", "--scenario-arg", "oops"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_submit_end_to_end_writes_the_result(self, capsys, tmp_path):
+        import threading
+
+        from repro.serve.api import make_server
+
+        server = make_server(tmp_path / "ws", port=0, job_workers=1)
+        server.manager.start()
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.1}, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        output = tmp_path / "report.txt"
+        try:
+            code = main(["submit", "simulate", "--runs", "1", "--gops", "1",
+                         "--scheme", "heuristic1",
+                         "--url", f"http://{host}:{port}",
+                         "--wait", "--timeout", "300",
+                         "--output", str(output)])
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+            server.manager.stop(graceful=False, timeout=30)
+            server.server_close()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queued as job-0001" in out
+        assert "job-0001 succeeded" in out
+        assert "mean PSNR" in output.read_text()
+
+
+class TestCompareCli:
+    def payload(self, mean):
+        return {"kind": "sweep",
+                "provenance": {"seed": 7, "backend": "numpy"},
+                "summaries": {"heuristic1": [{"mean_psnr": {"mean": mean}}]}}
+
+    def write_pair(self, tmp_path, mean_a, mean_b):
+        import json
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(self.payload(mean_a)))
+        b.write_text(json.dumps(self.payload(mean_b)))
+        return str(a), str(b)
+
+    def test_identical_files_exit_0(self, capsys, tmp_path):
+        a, b = self.write_pair(tmp_path, 30.0, 30.0)
+        assert main(["compare", a, b]) == 0
+        assert "bit-identical  : yes" in capsys.readouterr().out
+
+    def test_fail_on_diff_exits_1(self, capsys, tmp_path):
+        a, b = self.write_pair(tmp_path, 30.0, 31.0)
+        assert main(["compare", a, b, "--fail-on-diff"]) == 1
+        out = capsys.readouterr().out
+        assert "bit-identical  : no" in out
+        assert "heuristic1" in out
+
+    def test_json_output_is_parseable(self, capsys, tmp_path):
+        import json
+        a, b = self.write_pair(tmp_path, 30.0, 31.0)
+        assert main(["compare", a, b, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bit_identical"] is False
+        assert payload["scheme_deltas"]["heuristic1"] == [1.0]
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        a, _ = self.write_pair(tmp_path, 30.0, 30.0)
+        assert main(["compare", a, str(tmp_path / "gone.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
